@@ -1,0 +1,49 @@
+// Ablation: bump pitch (C4 vs micro-bumps) and power-bump fraction vs
+// per-link bandwidth. Quantifies Sec. II's observation that silicon
+// interposers (micro-bumps, 30-60 um pitch) multiply the D2D bandwidth of
+// package substrates (C4, 150-200 um), and the sensitivity to p_p.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/link_model.hpp"
+#include "core/shape.hpp"
+
+int main() {
+  using namespace hm::core;
+  hm::bench::header("Ablation — bump pitch & power fraction",
+                    "link-model sensitivity (Table I inputs)");
+
+  const double ac = 800.0 / 64.0;  // 64-chiplet design point
+
+  std::printf("Per-link bandwidth [Gb/s] of a hex chiplet (A_C = %.1f mm^2, "
+              "p_p = 0.4):\n", ac);
+  std::printf("%12s | %10s | %10s\n", "pitch [mm]", "wires", "B [Gb/s]");
+  hm::bench::rule(40);
+  for (double pitch : {0.20, 0.15, 0.10, 0.060, 0.045, 0.030}) {
+    LinkModelParams p;
+    p.link_area_mm2 = solve_hex_shape({ac, 0.4}).link_sector_area;
+    p.bump_pitch_mm = pitch;
+    const auto e = estimate_link(p);
+    std::printf("%12.3f | %10lld | %10.0f\n", pitch,
+                static_cast<long long>(e.data_wires), e.bandwidth_bps / 1e9);
+  }
+
+  std::printf("\nPower fraction sweep (C4 pitch %.3f mm):\n",
+              kDefaultBumpPitchMm);
+  std::printf("%6s | %10s | %10s | %10s\n", "p_p", "A_B mm^2", "D_B mm",
+              "B [Gb/s]");
+  hm::bench::rule(46);
+  for (double pp : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const ChipletShape s = solve_hex_shape({ac, pp});
+    LinkModelParams p;
+    p.link_area_mm2 = s.link_sector_area;
+    const auto e = estimate_link(p);
+    std::printf("%6.1f | %10.3f | %10.3f | %10.0f\n", pp, s.link_sector_area,
+                s.bump_edge_distance, e.bandwidth_bps / 1e9);
+  }
+
+  std::printf(
+      "\nExpected: micro-bumps (0.045 mm) offer ~11x the wires of C4\n"
+      "(0.15 mm); bandwidth falls linearly in p_p, D_B falls with p_p.\n");
+  return 0;
+}

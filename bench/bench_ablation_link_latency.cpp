@@ -1,0 +1,34 @@
+// Ablation: D2D link latency (PHY + wire + PHY) vs zero-load latency. The
+// paper configures 27 cycles from UCIe PHY figures (Sec. VI-A); this sweep
+// shows how the HM advantage scales with per-hop cost: hop count dominates,
+// so the relative gain is nearly latency-independent.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/arrangement.hpp"
+#include "noc/simulator.hpp"
+
+int main() {
+  using namespace hm::core;
+  hm::bench::header("Ablation — link latency vs zero-load latency",
+                    "sensitivity of Fig. 7a to the 27-cycle UCIe link");
+
+  std::printf("%8s | %10s | %10s | %8s\n", "link lat", "grid N=36",
+              "hexa N=37", "HM/G");
+  hm::bench::rule(48);
+
+  const auto grid = make_arrangement(ArrangementType::kGrid, 36);
+  const auto hexa = make_arrangement(ArrangementType::kHexaMesh, 37);
+  for (int link : {9, 18, 27, 36, 45}) {
+    hm::noc::SimConfig cfg;
+    cfg.link_latency = link;
+    hm::noc::Simulator sg(grid.graph(), cfg);
+    hm::noc::Simulator sh(hexa.graph(), cfg);
+    const double lg = sg.run_latency(0.01, 2000, 8000).avg_packet_latency;
+    const double lh = sh.run_latency(0.01, 2000, 8000).avg_packet_latency;
+    std::printf("%8d | %10.1f | %10.1f | %7.1f%%\n", link, lg, lh,
+                100.0 * lh / lg);
+    std::fflush(stdout);
+  }
+  return 0;
+}

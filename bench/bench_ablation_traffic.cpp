@@ -1,0 +1,62 @@
+// Ablation: traffic pattern vs saturation throughput. The paper evaluates
+// uniform random traffic only; this sweep adds the classic adversarial
+// patterns (hotspot, bit-complement, random permutation) to show that the
+// HexaMesh advantage is not an artifact of the uniform pattern.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/arrangement.hpp"
+#include "noc/simulator.hpp"
+
+namespace {
+
+double knee(const hm::core::Arrangement& arr, const hm::noc::TrafficSpec& t) {
+  hm::noc::SimConfig cfg;
+  hm::noc::SaturationSearchOptions opts;
+  opts.warmup = 3000;
+  opts.measure = 3000;
+  return hm::noc::find_saturation(arr.graph(), cfg, opts, t)
+      .accepted_flit_rate;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hm::core;
+  using hm::noc::TrafficPattern;
+  using hm::noc::TrafficSpec;
+
+  hm::bench::header("Ablation — traffic pattern vs saturation throughput",
+                    "robustness of the Fig. 7b comparison beyond uniform "
+                    "traffic");
+
+  TrafficSpec uniform;
+  TrafficSpec hotspot;
+  hotspot.pattern = TrafficPattern::kHotspot;
+  hotspot.hotspot_fraction = 0.2;
+  hotspot.hotspots = {0, 1};  // the central chiplet's endpoints
+  TrafficSpec bitcomp;
+  bitcomp.pattern = TrafficPattern::kBitComplement;
+  TrafficSpec perm;
+  perm.pattern = TrafficPattern::kPermutation;
+  perm.permutation_seed = 7;
+
+  std::printf("%-30s | %9s | %9s | %9s | %9s\n", "arrangement", "uniform",
+              "hotspot", "bitcomp", "perm");
+  hm::bench::rule(80);
+  for (std::size_t n : {36u, 37u}) {
+    for (auto type : {ArrangementType::kGrid, ArrangementType::kHexaMesh}) {
+      const auto arr = make_arrangement(type, n);
+      std::printf("%-30s | %9.4f | %9.4f | %9.4f | %9.4f\n",
+                  arr.name().c_str(), knee(arr, uniform), knee(arr, hotspot),
+                  knee(arr, bitcomp), knee(arr, perm));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\nExpected: hotspot saturates at the hotspot's ejection capacity for\n"
+      "both arrangements; HM keeps its edge under bit-complement and\n"
+      "permutation (long-haul patterns stress the diameter).\n");
+  return 0;
+}

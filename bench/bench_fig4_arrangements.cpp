@@ -1,0 +1,67 @@
+// Reproduces the Fig. 4 annotations: for each arrangement family (grid,
+// honeycomb, brickwall, HexaMesh) the min/max neighbours per chiplet and the
+// closed-form diameter / bisection bandwidth, cross-checked against the
+// values computed from the actual graphs at representative sizes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/arrangement.hpp"
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/honeycomb.hpp"
+#include "core/proxies.hpp"
+#include "graph/algorithms.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace hm::core;
+
+void report(const Arrangement& arr) {
+  const auto stats = arr.neighbor_stats();
+  const int diam = hm::graph::diameter(arr.graph());
+  const auto bis = hm::partition::bisection_width(arr.graph());
+  const double f_diam = analytic_diameter(arr.type(), arr.chiplet_count());
+  const double f_bis = analytic_bisection(arr.type(), arr.chiplet_count());
+  std::printf("%-11s %4zu  %3zu  %3zu  %5.2f  | %8d %8.2f  | %8zu %8.2f\n",
+              to_string(arr.type()).c_str(), arr.chiplet_count(), stats.min,
+              stats.max, stats.avg, diam, f_diam, bis, f_bis);
+}
+
+}  // namespace
+
+int main() {
+  hm::bench::header("Fig. 4 — evolution of compute-chiplet arrangements",
+                    "Fig. 4(a)-(d): neighbours, diameter, bisection BW");
+
+  std::printf("%-11s %4s  %3s  %3s  %5s  | %8s %8s  | %8s %8s\n", "type", "N",
+              "min", "max", "avg", "diam", "formula", "bisect", "formula");
+  hm::bench::rule(78);
+
+  // One regular instance per family at comparable sizes (Fig. 4 draws ~25
+  // chiplet examples; formulas hold for any regular size).
+  for (std::size_t side : {5u, 10u}) {
+    report(make_grid_regular(side));
+    report(make_honeycomb(side * side));
+    report(make_brickwall_regular(side));
+  }
+  for (std::size_t rings : {2u, 3u, 5u}) {
+    report(make_hexamesh_regular(rings));
+  }
+
+  std::printf("\nMinimum neighbours per chiplet (paper: G/HC/BW = 2, HM = 3):\n");
+  std::printf("  grid %zu, honeycomb %zu, brickwall %zu, hexamesh %zu\n",
+              make_grid_regular(7).neighbor_stats().min,
+              make_honeycomb(49).neighbor_stats().min,
+              make_brickwall_regular(7).neighbor_stats().min,
+              make_hexamesh_regular(3).neighbor_stats().min);
+
+  std::printf("\nPlanar average-degree bound 6 - 12/N (Sec. IV-A):\n");
+  for (std::size_t n : {25u, 49u, 100u}) {
+    std::printf("  N=%3zu: bound %.3f, brickwall achieves %.3f\n", n,
+                max_avg_neighbors(n),
+                make_brickwall(n).neighbor_stats().avg);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Fig. 6a: network diameter of grid / brickwall / HexaMesh for
+// chiplet counts 1..100, with the regularity class of each point, plus the
+// asymptotic "x0.6" annotation (HM diameter ~= 0.577x the grid's).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/arrangement.hpp"
+#include "core/proxies.hpp"
+#include "graph/algorithms.hpp"
+
+int main() {
+  using namespace hm::core;
+  hm::bench::header("Fig. 6a — network diameter vs chiplet count",
+                    "Fig. 6a (diameter; latency proxy of Sec. III-C)");
+
+  std::printf("%4s | %8s %-10s | %8s %-10s | %8s %-10s\n", "N", "grid",
+              "class", "brickw", "class", "hexamesh", "class");
+  hm::bench::rule(72);
+
+  for (std::size_t n : hm::bench::analytic_sweep(1)) {
+    int d[3];
+    const char* cls[3];
+    int i = 0;
+    for (auto type : hm::bench::compared_types()) {
+      const auto arr = make_arrangement(type, n);
+      d[i] = hm::graph::diameter(arr.graph());
+      cls[i] = hm::bench::class_tag(arr.regularity());
+      ++i;
+    }
+    std::printf("%4zu | %8d %-10s | %8d %-10s | %8d %-10s\n", n, d[0], cls[0],
+                d[1], cls[1], d[2], cls[2]);
+  }
+
+  std::printf("\nAsymptotic ratios vs grid (paper: BW -25%%, HM -42%%):\n");
+  std::printf("  D_BW/D_G -> %.4f (reduction %.0f%%)\n",
+              asymptotic_diameter_ratio_bw(),
+              100.0 * (1.0 - asymptotic_diameter_ratio_bw()));
+  std::printf("  D_HM/D_G -> %.4f (reduction %.0f%%)  [the Fig. 6a 'x0.6']\n",
+              asymptotic_diameter_ratio_hm(),
+              100.0 * (1.0 - asymptotic_diameter_ratio_hm()));
+  return 0;
+}

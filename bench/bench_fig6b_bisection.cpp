@@ -1,0 +1,59 @@
+// Reproduces Fig. 6b: estimated bisection bandwidth (in links) of grid /
+// brickwall / HexaMesh for chiplet counts 1..100. Regular arrangements use
+// the closed forms of Sec. IV-D; semi-regular and irregular ones use the
+// balanced partitioner (the paper uses METIS), exactly as in the paper.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/arrangement.hpp"
+#include "core/proxies.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+std::size_t bisection_of(const hm::core::Arrangement& arr) {
+  using hm::core::RegularityClass;
+  if (arr.regularity() == RegularityClass::kRegular &&
+      arr.chiplet_count() >= 2) {
+    return static_cast<std::size_t>(
+        hm::core::analytic_bisection(arr.type(), arr.chiplet_count()) + 0.5);
+  }
+  if (arr.chiplet_count() < 2) return 0;
+  return hm::partition::bisection_width(arr.graph());
+}
+
+}  // namespace
+
+int main() {
+  using namespace hm::core;
+  hm::bench::header(
+      "Fig. 6b — estimated bisection bandwidth vs chiplet count",
+      "Fig. 6b (bisection BW in links; throughput proxy of Sec. III-C)");
+
+  std::printf("%4s | %8s %-10s | %8s %-10s | %8s %-10s\n", "N", "grid",
+              "class", "brickw", "class", "hexamesh", "class");
+  hm::bench::rule(72);
+
+  for (std::size_t n : hm::bench::analytic_sweep(1)) {
+    std::size_t b[3];
+    const char* cls[3];
+    int i = 0;
+    for (auto type : hm::bench::compared_types()) {
+      const auto arr = make_arrangement(type, n);
+      b[i] = bisection_of(arr);
+      cls[i] = hm::bench::class_tag(arr.regularity());
+      ++i;
+    }
+    std::printf("%4zu | %8zu %-10s | %8zu %-10s | %8zu %-10s\n", n, b[0],
+                cls[0], b[1], cls[1], b[2], cls[2]);
+  }
+
+  std::printf("\nAsymptotic ratios vs grid (paper: BW +100%%, HM +130%%):\n");
+  std::printf("  B_BW/B_G -> %.4f (improvement %.0f%%)\n",
+              asymptotic_bisection_ratio_bw(),
+              100.0 * (asymptotic_bisection_ratio_bw() - 1.0));
+  std::printf("  B_HM/B_G -> %.4f (improvement %.0f%%)  [the Fig. 6b 'x2.3']\n",
+              asymptotic_bisection_ratio_hm(),
+              100.0 * (asymptotic_bisection_ratio_hm() - 1.0));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Recomputes the four headline numbers of the abstract:
+//   theory:   HM reduces network diameter by 42% and improves bisection
+//             bandwidth by 130% vs a grid (asymptotically);
+//   practice: HM reduces zero-load latency by ~19% and improves saturation
+//             throughput by ~34% on average (cycle-accurate simulation).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/arrangement.hpp"
+#include "core/evaluator.hpp"
+#include "core/proxies.hpp"
+#include "noc/stats.hpp"
+
+int main() {
+  using namespace hm::core;
+  hm::bench::header("Headline claims", "abstract + Sec. VI-C averages");
+
+  std::printf("Theory (asymptotic, Sec. IV-D):\n");
+  std::printf("  diameter reduction:        %5.1f%%   (paper: 42%%)\n",
+              100.0 * (1.0 - asymptotic_diameter_ratio_hm()));
+  std::printf("  bisection BW improvement:  %5.1f%%   (paper: 130%%)\n",
+              100.0 * (asymptotic_bisection_ratio_hm() - 1.0));
+
+  EvaluationParams params;  // paper defaults
+  std::vector<double> lat_ratio, thr_ratio;
+  std::printf("\nPractice (simulation, N >= 10 sweep):\n");
+  for (std::size_t n : hm::bench::simulation_sweep()) {
+    if (n < 10) continue;
+    const auto grid = evaluate(make_arrangement(ArrangementType::kGrid, n),
+                               params);
+    const auto hexa = evaluate(make_arrangement(ArrangementType::kHexaMesh, n),
+                               params);
+    lat_ratio.push_back(hexa.zero_load_latency_cycles /
+                        grid.zero_load_latency_cycles);
+    thr_ratio.push_back(hexa.saturation_throughput_bps /
+                        grid.saturation_throughput_bps);
+    std::printf("  N=%3zu: latency %.1f%% of grid, throughput %.1f%% of grid\n",
+                n, 100.0 * lat_ratio.back(), 100.0 * thr_ratio.back());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nAverages over the sweep:\n");
+  std::printf("  latency reduction:         %5.1f%%   (paper: 19%%)\n",
+              100.0 * (1.0 - hm::noc::mean(lat_ratio)));
+  std::printf("  throughput improvement:    %5.1f%%   (paper: 34%%)\n",
+              100.0 * (hm::noc::mean(thr_ratio) - 1.0));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// google-benchmark micro-perf suite for the library's engineering-critical
+// paths: arrangement construction, BFS diameter, balanced bisection, routing
+// table construction and raw simulator cycle rate.
+#include <benchmark/benchmark.h>
+
+#include "core/arrangement.hpp"
+#include "core/evaluator.hpp"
+#include "graph/algorithms.hpp"
+#include "noc/simulator.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using hm::core::ArrangementType;
+using hm::core::make_arrangement;
+
+void BM_MakeHexamesh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_arrangement(ArrangementType::kHexaMesh, n));
+  }
+}
+BENCHMARK(BM_MakeHexamesh)->Arg(19)->Arg(91);
+
+void BM_Diameter(benchmark::State& state) {
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
+                                    static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hm::graph::diameter(arr.graph()));
+  }
+}
+BENCHMARK(BM_Diameter)->Arg(37)->Arg(100);
+
+void BM_Bisection(benchmark::State& state) {
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
+                                    static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hm::partition::bisection_width(arr.graph()));
+  }
+}
+BENCHMARK(BM_Bisection)->Arg(37)->Arg(100);
+
+void BM_RoutingTables(benchmark::State& state) {
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
+                                    static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    hm::noc::RoutingTables tables(arr.graph());
+    benchmark::DoNotOptimize(tables.escape_root());
+  }
+}
+BENCHMARK(BM_RoutingTables)->Arg(37)->Arg(100);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  // Cycle rate of a saturated HexaMesh network (routers + endpoints).
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
+                                    static_cast<std::size_t>(state.range(0)));
+  hm::noc::SimConfig cfg;
+  hm::noc::Simulator sim(arr.graph(), cfg);
+  hm::noc::UniformRandomTraffic traffic(sim.network().num_endpoints(), 1.0,
+                                        cfg.packet_length);
+  hm::noc::Rng rng(1);
+  hm::noc::Cycle now = 0;
+  for (auto _ : state) {
+    for (std::size_t e = 0; e < sim.network().num_endpoints(); ++e) {
+      auto p = traffic.maybe_generate(static_cast<std::uint16_t>(e), now, rng);
+      if (p.has_value()) sim.network().endpoint(e).try_enqueue(*p);
+    }
+    sim.network().step(now, rng);
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorCycles)->Arg(19)->Arg(91);
+
+void BM_EvaluateAnalytic(benchmark::State& state) {
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh, 91);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hm::core::evaluate_analytic(arr));
+  }
+}
+BENCHMARK(BM_EvaluateAnalytic);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Shared helpers for the reproduction harnesses: sweep selection, evaluation
+// caching per design point, and table formatting. Each bench binary
+// regenerates one table/figure of the paper; set HM_FULL_SWEEP=1 to run
+// every chiplet count instead of the decimated default sweep.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "core/evaluator.hpp"
+
+namespace hm::bench {
+
+/// True when the environment requests the full N = 2..100 sweep.
+inline bool full_sweep_requested() {
+  const char* env = std::getenv("HM_FULL_SWEEP");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Chiplet counts used by the simulation figures (Fig. 7). The decimated
+/// default covers all regularity classes of each arrangement and all paper-
+/// relevant scales; the full sweep reproduces every point.
+inline std::vector<std::size_t> simulation_sweep() {
+  if (full_sweep_requested()) {
+    std::vector<std::size_t> all;
+    for (std::size_t n = 2; n <= 100; ++n) all.push_back(n);
+    return all;
+  }
+  return {2, 4, 7, 9, 16, 19, 25, 36, 37, 49, 64, 91, 100};
+}
+
+/// Chiplet counts used by the analytic figures (Fig. 6); cheap, so always
+/// the full range the paper plots.
+inline std::vector<std::size_t> analytic_sweep(std::size_t lo = 1) {
+  std::vector<std::size_t> all;
+  for (std::size_t n = lo; n <= 100; ++n) all.push_back(n);
+  return all;
+}
+
+/// Short class tag matching the paper's legend entries.
+inline const char* class_tag(core::RegularityClass c) {
+  switch (c) {
+    case core::RegularityClass::kRegular: return "regular";
+    case core::RegularityClass::kSemiRegular: return "semi-reg";
+    case core::RegularityClass::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+/// The three rectangular arrangement families compared throughout Sec. VI.
+inline const std::vector<core::ArrangementType>& compared_types() {
+  static const std::vector<core::ArrangementType> kTypes = {
+      core::ArrangementType::kGrid, core::ArrangementType::kBrickwall,
+      core::ArrangementType::kHexaMesh};
+  return kTypes;
+}
+
+/// Prints a horizontal rule sized for `width` columns.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints the standard bench header.
+inline void header(const std::string& what, const std::string& paper_ref) {
+  std::printf("== %s ==\n", what.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  if (!full_sweep_requested()) {
+    std::printf("sweep: decimated (set HM_FULL_SWEEP=1 for every N)\n");
+  } else {
+    std::printf("sweep: full\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace hm::bench

@@ -1,0 +1,58 @@
+// Design sweep: for a range of chiplet counts, evaluate grid vs HexaMesh
+// end to end (simulation included) and recommend the better arrangement per
+// design point — the decision a 2.5D system architect faces.
+//
+//   ./design_sweep [N1 N2 ...]      (default: 16 25 37 64)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "core/evaluator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm::core;
+  std::vector<std::size_t> sweep;
+  for (int i = 1; i < argc; ++i) {
+    const auto n = std::strtoul(argv[i], nullptr, 10);
+    if (n < 2) {
+      std::fprintf(stderr, "chiplet counts must be >= 2\n");
+      return 1;
+    }
+    sweep.push_back(n);
+  }
+  if (sweep.empty()) sweep = {16, 25, 37, 64};
+
+  EvaluationParams params;
+  params.latency_measure = 6000;  // quick interactive settings
+  params.throughput_warmup = 5000;
+  params.throughput_measure = 5000;
+
+  std::printf("%4s | %-26s | %-26s | %s\n", "N", "grid (lat, thr)",
+              "hexamesh (lat, thr)", "recommendation");
+  for (int i = 0; i < 84; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (std::size_t n : sweep) {
+    const auto g = evaluate(make_arrangement(ArrangementType::kGrid, n),
+                            params);
+    const auto h = evaluate(make_arrangement(ArrangementType::kHexaMesh, n),
+                            params);
+    const double lat_gain = 1.0 - h.zero_load_latency_cycles /
+                                      g.zero_load_latency_cycles;
+    const double thr_gain = h.saturation_throughput_bps /
+                                g.saturation_throughput_bps -
+                            1.0;
+    const bool hm_wins = lat_gain > 0.0 && thr_gain > 0.0;
+    std::printf("%4zu | %7.1f cyc, %7.2f Tb/s | %7.1f cyc, %7.2f Tb/s | "
+                "%s (lat %+.0f%%, thr %+.0f%%)\n",
+                n, g.zero_load_latency_cycles,
+                g.saturation_throughput_bps / 1e12,
+                h.zero_load_latency_cycles,
+                h.saturation_throughput_bps / 1e12,
+                hm_wins ? "HexaMesh" : "mixed", -100.0 * lat_gain,
+                100.0 * thr_gain);
+    std::fflush(stdout);
+  }
+  return 0;
+}

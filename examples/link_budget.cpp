@@ -1,0 +1,67 @@
+// Link-budget report: for a given chiplet count and packaging technology,
+// derive the chiplet shape, the Fig. 5 bump-sector plan and the resulting
+// D2D link budget — the Sec. IV-B/V workflow a chiplet architect would run.
+//
+//   ./link_budget [N] [c4|microbump] [power_fraction]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/arrangement.hpp"
+#include "core/link_model.hpp"
+#include "core/shape.hpp"
+#include "geometry/bump_layout.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm::core;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const std::string tech = argc > 2 ? argv[2] : "c4";
+  const double pp = argc > 3 ? std::atof(argv[3]) : kDefaultPowerFraction;
+  if (n < 1 || pp < 0.0 || pp >= 1.0 ||
+      (tech != "c4" && tech != "microbump")) {
+    std::fprintf(stderr, "usage: %s [N>=1] [c4|microbump] [pp in [0,1))\n",
+                 argv[0]);
+    return 1;
+  }
+  const double pitch = tech == "c4" ? kDefaultBumpPitchMm : kMicroBumpPitchMm;
+
+  const double ac = kDefaultTotalAreaMm2 / static_cast<double>(n);
+  std::printf("design: %zu chiplets of %.2f mm^2 (A_all = %.0f mm^2), "
+              "%s bumps (pitch %.3f mm), p_p = %.2f\n\n",
+              n, ac, kDefaultTotalAreaMm2, tech.c_str(), pitch, pp);
+
+  for (auto type : {ArrangementType::kGrid, ArrangementType::kHexaMesh}) {
+    const ChipletShape s = solve_shape(type, {ac, pp});
+    LinkModelParams lp;
+    lp.link_area_mm2 = s.link_sector_area;
+    lp.bump_pitch_mm = pitch;
+    const LinkEstimate e = estimate_link(lp);
+
+    std::printf("%s chiplet: %.2f x %.2f mm, %d link sectors\n",
+                to_string(type).c_str(), s.width, s.height, s.link_sectors);
+    std::printf("  bump plan (role: area mm^2, max dist to edge mm):\n");
+    for (const auto& sector : bump_sectors(s)) {
+      if (sector.role == hm::geom::SectorRole::kPower) {
+        std::printf("    %-5s  %6.2f       -\n",
+                    hm::geom::to_string(sector.role).c_str(), sector.area());
+      } else {
+        std::printf("    %-5s  %6.2f  %6.2f\n",
+                    hm::geom::to_string(sector.role).c_str(), sector.area(),
+                    hm::geom::max_bump_to_edge_distance(sector, s.width,
+                                                        s.height));
+      }
+    }
+    std::printf("  link budget: %lld bumps -> %lld data wires -> %.0f Gb/s "
+                "per link (%.1f GB/s)\n",
+                static_cast<long long>(e.total_wires),
+                static_cast<long long>(e.data_wires), e.bandwidth_bps / 1e9,
+                e.bandwidth_bps / 8e9);
+    std::printf("  estimated D2D link length ~ D_B = %.2f mm "
+                "(%s)\n\n",
+                s.bump_edge_distance,
+                s.bump_edge_distance <= 2.0
+                    ? "OK for silicon interposer (<= 2 mm, Sec. II)"
+                    : "needs package substrate (> 2 mm)");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a 37-chiplet HexaMesh, inspect its topology, solve the
+// chiplet shape, estimate the D2D link bandwidth, and run the cycle-accurate
+// evaluation — the whole public API in ~60 lines.
+//
+//   ./quickstart [N]        (default N = 37, a regular 3-ring HexaMesh)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/evaluator.hpp"
+#include "core/hexamesh.hpp"
+#include "core/link_model.hpp"
+#include "core/shape.hpp"
+#include "graph/algorithms.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm::core;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 37;
+
+  // 1. Build the arrangement (regular when N = 1+3r(r+1), else irregular).
+  const Arrangement arr = make_hexamesh(n);
+  std::printf("arrangement: %s\n", arr.name().c_str());
+  const auto stats = arr.neighbor_stats();
+  std::printf("topology:    %zu D2D links, neighbours min/avg/max = "
+              "%zu/%.2f/%zu, diameter = %d hops\n",
+              arr.graph().edge_count(), stats.min, stats.avg, stats.max,
+              hm::graph::diameter(arr.graph()));
+
+  // 2. Solve the chiplet shape for the paper's 800 mm^2 budget.
+  const double chiplet_area = kDefaultTotalAreaMm2 / static_cast<double>(n);
+  const ChipletShape shape =
+      solve_shape(ArrangementType::kHexaMesh, {chiplet_area, 0.4});
+  std::printf("chiplet:     %.2f x %.2f mm (A_C = %.1f mm^2), "
+              "D_B = %.2f mm, A_B = %.2f mm^2/link\n",
+              shape.width, shape.height, chiplet_area,
+              shape.bump_edge_distance, shape.link_sector_area);
+
+  // 3. Estimate the per-link bandwidth with the D2D link model.
+  LinkModelParams lp;
+  lp.link_area_mm2 = shape.link_sector_area;
+  const LinkEstimate link = estimate_link(lp);
+  std::printf("D2D link:    %lld wires (%lld data) -> %.0f Gb/s at 16 GHz\n",
+              static_cast<long long>(link.total_wires),
+              static_cast<long long>(link.data_wires),
+              link.bandwidth_bps / 1e9);
+
+  if (n < 2) return 0;
+
+  // 4. Cycle-accurate evaluation (zero-load latency + saturation throughput).
+  EvaluationParams params;
+  params.latency_measure = 6000;      // quick demo settings
+  params.throughput_warmup = 5000;
+  params.throughput_measure = 5000;
+  const EvaluationResult r = evaluate(arr, params);
+  std::printf("simulation:  zero-load latency %.1f cycles, saturation "
+              "%.1f%% of full rate = %.2f Tb/s\n",
+              r.zero_load_latency_cycles, 100.0 * r.saturation_fraction,
+              r.saturation_throughput_bps / 1e12);
+  return 0;
+}

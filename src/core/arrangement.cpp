@@ -1,0 +1,106 @@
+#include "core/arrangement.hpp"
+
+#include <stdexcept>
+
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/honeycomb.hpp"
+
+namespace hm::core {
+
+std::string to_string(ArrangementType t) {
+  switch (t) {
+    case ArrangementType::kGrid: return "grid";
+    case ArrangementType::kBrickwall: return "brickwall";
+    case ArrangementType::kHexaMesh: return "hexamesh";
+    case ArrangementType::kHoneycomb: return "honeycomb";
+  }
+  return "?";
+}
+
+std::string to_string(RegularityClass c) {
+  switch (c) {
+    case RegularityClass::kRegular: return "regular";
+    case RegularityClass::kSemiRegular: return "semi-regular";
+    case RegularityClass::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+Arrangement::Arrangement(ArrangementType type, RegularityClass regularity,
+                         std::vector<LatticeCoord> coords, graph::Graph graph)
+    : type_(type),
+      regularity_(regularity),
+      coords_(std::move(coords)),
+      graph_(std::move(graph)) {
+  if (graph_.node_count() != coords_.size()) {
+    throw std::invalid_argument(
+        "Arrangement: graph vertex count must equal chiplet count");
+  }
+  if (coords_.empty()) {
+    throw std::invalid_argument("Arrangement: at least one chiplet required");
+  }
+}
+
+NeighborStats Arrangement::neighbor_stats() const {
+  return NeighborStats{graph_.min_degree(), graph_.max_degree(),
+                       graph_.avg_degree()};
+}
+
+bool Arrangement::has_rect_placement() const noexcept {
+  return type_ != ArrangementType::kHoneycomb;
+}
+
+geom::ChipletPlacement Arrangement::placement(double wc, double hc) const {
+  if (!has_rect_placement()) {
+    throw std::logic_error(
+        "Arrangement::placement: honeycomb chiplets are hexagonal; no "
+        "rectangle placement exists");
+  }
+  if (!(wc > 0.0) || !(hc > 0.0)) {
+    throw std::invalid_argument(
+        "Arrangement::placement: chiplet dimensions must be positive");
+  }
+  std::vector<geom::Rect> rects;
+  rects.reserve(coords_.size());
+  for (const LatticeCoord& c : coords_) {
+    double x = 0.0;
+    const double y = static_cast<double>(c.a) * hc;
+    switch (type_) {
+      case ArrangementType::kGrid:
+        x = static_cast<double>(c.b) * wc;
+        break;
+      case ArrangementType::kBrickwall:
+        // Odd rows are offset by half a chiplet width (Fig. 4c).
+        x = (static_cast<double>(c.b) + ((c.a % 2 + 2) % 2) * 0.5) * wc;
+        break;
+      case ArrangementType::kHexaMesh:
+        // Axial (q, r) -> brickwall row r with cumulative half-offset
+        // (Fig. 4d); rows shift wc/2 per ring step.
+        x = (static_cast<double>(c.b) + static_cast<double>(c.a) * 0.5) * wc;
+        break;
+      case ArrangementType::kHoneycomb:
+        break;  // unreachable (guarded above)
+    }
+    rects.push_back(geom::Rect{x, y, wc, hc});
+  }
+  return geom::ChipletPlacement(std::move(rects));
+}
+
+std::string Arrangement::name() const {
+  return to_string(type_) + " (" + to_string(regularity_) +
+         ", N=" + std::to_string(chiplet_count()) + ")";
+}
+
+Arrangement make_arrangement(ArrangementType type, std::size_t n) {
+  switch (type) {
+    case ArrangementType::kGrid: return make_grid(n);
+    case ArrangementType::kBrickwall: return make_brickwall(n);
+    case ArrangementType::kHexaMesh: return make_hexamesh(n);
+    case ArrangementType::kHoneycomb: return make_honeycomb(n);
+  }
+  throw std::invalid_argument("make_arrangement: unknown type");
+}
+
+}  // namespace hm::core

@@ -1,0 +1,111 @@
+// Chiplet arrangements (paper Sec. IV): Grid (G), Brickwall (BW),
+// HexaMesh (HM) and the theory-only Honeycomb (HC), each in regular,
+// semi-regular (G/BW only) and irregular variants (Sec. IV-C).
+//
+// An Arrangement couples
+//   * lattice coordinates per chiplet,
+//   * the combinatorial adjacency graph (vertices = chiplets, edges = pairs
+//     sharing a boundary edge; Sec. III-C), and
+//   * a generator for the physical rectangle placement given chiplet
+//     dimensions (Sec. IV-B).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/placement.hpp"
+#include "graph/graph.hpp"
+
+namespace hm::core {
+
+/// The arrangement families discussed in the paper (Fig. 4).
+enum class ArrangementType {
+  kGrid,       ///< 2D grid, the paper's baseline
+  kBrickwall,  ///< offset rows of rectangles (same graph family as honeycomb)
+  kHexaMesh,   ///< rings around a central chiplet (the paper's contribution)
+  kHoneycomb,  ///< hexagonal chiplets; violates the rectangular constraint
+};
+
+/// Regularity classes of Sec. IV-C.
+enum class RegularityClass {
+  kRegular,      ///< square chiplet count (G/BW) or N = 1+3r(r+1) (HM)
+  kSemiRegular,  ///< R x C with R != C but bounded aspect ratio (G/BW)
+  kIrregular,    ///< closest smaller regular arrangement plus appended chiplets
+};
+
+/// Short names, e.g. "grid", "hexamesh" / "regular", "irregular".
+[[nodiscard]] std::string to_string(ArrangementType t);
+[[nodiscard]] std::string to_string(RegularityClass c);
+
+/// Integer lattice coordinate of one chiplet: (row, col) for grid/brickwall,
+/// axial hex coordinates (q, r) for HexaMesh.
+struct LatticeCoord {
+  int a = 0;
+  int b = 0;
+  friend bool operator==(const LatticeCoord&, const LatticeCoord&) = default;
+};
+
+/// Aggregate degree statistics (the "neighbours per chiplet" numbers
+/// annotated in Fig. 4).
+struct NeighborStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double avg = 0.0;
+};
+
+/// An immutable arrangement of N identical chiplets.
+class Arrangement {
+ public:
+  /// Builds an arrangement from its lattice coordinates and adjacency graph.
+  /// Intended to be called by the factory functions in grid.hpp /
+  /// brickwall.hpp / hexamesh.hpp / honeycomb.hpp; exposed publicly so users
+  /// can analyze custom arrangements. The graph must have exactly
+  /// coords.size() vertices.
+  Arrangement(ArrangementType type, RegularityClass regularity,
+              std::vector<LatticeCoord> coords, graph::Graph graph);
+
+  [[nodiscard]] ArrangementType type() const noexcept { return type_; }
+  [[nodiscard]] RegularityClass regularity() const noexcept {
+    return regularity_;
+  }
+  [[nodiscard]] std::size_t chiplet_count() const noexcept {
+    return coords_.size();
+  }
+  [[nodiscard]] const std::vector<LatticeCoord>& coords() const noexcept {
+    return coords_;
+  }
+
+  /// Adjacency graph (Sec. III-C): one vertex per chiplet, one edge per
+  /// D2D-connectable pair.
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+
+  /// Min/max/average neighbours per chiplet (Fig. 4 annotations).
+  [[nodiscard]] NeighborStats neighbor_stats() const;
+
+  /// True iff a rectangle placement can be generated (false only for the
+  /// honeycomb, whose chiplets are hexagonal).
+  [[nodiscard]] bool has_rect_placement() const noexcept;
+
+  /// Physical placement for chiplets of size `wc` x `hc` mm: grid rows are
+  /// aligned, brickwall/HexaMesh rows are offset by wc/2 (Fig. 4). Throws
+  /// std::logic_error for the honeycomb.
+  [[nodiscard]] geom::ChipletPlacement placement(double wc, double hc) const;
+
+  /// e.g. "hexamesh (irregular, N=42)".
+  [[nodiscard]] std::string name() const;
+
+ private:
+  ArrangementType type_;
+  RegularityClass regularity_;
+  std::vector<LatticeCoord> coords_;
+  graph::Graph graph_;
+};
+
+/// Factory dispatching on type with automatic regularity classification
+/// (see make_grid / make_brickwall / make_hexamesh / make_honeycomb).
+/// Requires n >= 1.
+[[nodiscard]] Arrangement make_arrangement(ArrangementType type,
+                                           std::size_t n);
+
+}  // namespace hm::core

@@ -1,0 +1,90 @@
+#include "core/brickwall.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/lattice_detail.hpp"
+
+namespace hm::core {
+
+namespace {
+
+Arrangement build_bw(std::vector<LatticeCoord> coords, RegularityClass cls) {
+  graph::Graph g =
+      detail::build_lattice_graph(coords, detail::brickwall_neighbors);
+  return Arrangement(ArrangementType::kBrickwall, cls, std::move(coords),
+                     std::move(g));
+}
+
+std::vector<LatticeCoord> full_rows(std::size_t rows, std::size_t cols) {
+  std::vector<LatticeCoord> coords;
+  coords.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      coords.push_back({static_cast<int>(r), static_cast<int>(c)});
+    }
+  }
+  return coords;
+}
+
+}  // namespace
+
+Arrangement make_brickwall_regular(std::size_t side) {
+  if (side < 1) {
+    throw std::invalid_argument("make_brickwall_regular: side >= 1");
+  }
+  return build_bw(full_rows(side, side), RegularityClass::kRegular);
+}
+
+Arrangement make_brickwall_rect(std::size_t rows, std::size_t cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("make_brickwall_rect: rows, cols >= 1");
+  }
+  if (rows == cols) return make_brickwall_regular(rows);
+  return build_bw(full_rows(rows, cols), RegularityClass::kSemiRegular);
+}
+
+Arrangement make_brickwall_irregular(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("make_brickwall_irregular: n >= 1");
+  const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  std::vector<LatticeCoord> coords = full_rows(side, side);
+  std::size_t extra = n - side * side;
+
+  // Append chiplets into incomplete rows on top. Within a new row, the
+  // columns that touch two chiplets of the row below are placed first
+  // (even rows: 1..side-1, odd rows: 0..side-2 because of the half-offset);
+  // the remaining corner column is placed last, when it also touches its row
+  // neighbour. This keeps the minimum neighbour count at 2 for most n.
+  std::size_t row = side;
+  while (extra > 0) {
+    const std::size_t take = std::min(extra, side);
+    const bool odd = row % 2 == 1;
+    for (std::size_t i = 0; i < take; ++i) {
+      std::size_t col;
+      if (odd) {
+        col = (i + 1 < side) ? i : side - 1;  // 0..side-2, then side-1
+      } else {
+        col = (i + 1 < side) ? i + 1 : 0;  // 1..side-1, then 0
+      }
+      coords.push_back({static_cast<int>(row), static_cast<int>(col)});
+    }
+    extra -= take;
+    ++row;
+  }
+  return build_bw(std::move(coords), RegularityClass::kIrregular);
+}
+
+Arrangement make_brickwall(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("make_brickwall: n >= 1");
+  const auto root = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(n))));
+  if (root * root == n) return make_brickwall_regular(root);
+  const auto [rows, cols] = detail::best_factor_pair(n);
+  if (static_cast<double>(cols) / static_cast<double>(rows) <=
+      detail::kMaxSemiRegularAspect) {
+    return make_brickwall_rect(rows, cols);
+  }
+  return make_brickwall_irregular(n);
+}
+
+}  // namespace hm::core

@@ -1,0 +1,27 @@
+// Brickwall (BW) arrangement factories (Fig. 4c): rectangular chiplets in
+// rows offset by half a chiplet width, realizing the honeycomb graph without
+// violating the rectangular-chiplet constraint.
+#pragma once
+
+#include <cstddef>
+
+#include "core/arrangement.hpp"
+
+namespace hm::core {
+
+/// Regular side x side brickwall (N = side^2). Requires side >= 1.
+[[nodiscard]] Arrangement make_brickwall_regular(std::size_t side);
+
+/// Semi-regular rows x cols brickwall (regular when rows == cols).
+[[nodiscard]] Arrangement make_brickwall_rect(std::size_t rows,
+                                              std::size_t cols);
+
+/// Irregular brickwall: largest regular s x s base plus appended chiplets in
+/// incomplete rows; chiplets are appended in an order that keeps the minimum
+/// neighbour count at 2 wherever possible (Sec. IV-C). Requires n >= 1.
+[[nodiscard]] Arrangement make_brickwall_irregular(std::size_t n);
+
+/// Auto-classified brickwall (same classification rule as make_grid).
+[[nodiscard]] Arrangement make_brickwall(std::size_t n);
+
+}  // namespace hm::core

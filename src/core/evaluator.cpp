@@ -1,0 +1,109 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/proxies.hpp"
+#include "graph/algorithms.hpp"
+#include "partition/partitioner.hpp"
+#include "noc/simulator.hpp"
+
+namespace hm::core {
+
+double link_area_for(const Arrangement& arr, double chiplet_area_mm2,
+                     const EvaluationParams& params) {
+  const double usable = (1.0 - params.power_fraction) * chiplet_area_mm2;
+  if (params.hand_optimized_small_n && arr.chiplet_count() <= 7) {
+    const std::size_t sectors = std::max<std::size_t>(
+        1, arr.graph().max_degree());
+    return usable / static_cast<double>(sectors);
+  }
+  const ShapeParams sp{chiplet_area_mm2, params.power_fraction};
+  return solve_shape(arr.type() == ArrangementType::kHoneycomb
+                         ? ArrangementType::kBrickwall
+                         : arr.type(),
+                     sp)
+      .link_sector_area;
+}
+
+namespace {
+
+void fill_analytic(const Arrangement& arr, const EvaluationParams& params,
+                   EvaluationResult& r) {
+  const std::size_t n = arr.chiplet_count();
+  r.chiplet_count = n;
+  r.regularity = arr.regularity();
+
+  r.diameter = graph::diameter(arr.graph());
+  r.avg_hop_distance = graph::average_distance(arr.graph());
+
+  // Bisection: closed form for regular arrangements, partitioner otherwise
+  // (the paper uses METIS for semi-regular/irregular cases, Sec. IV-D).
+  if (arr.regularity() == RegularityClass::kRegular && n >= 2) {
+    r.bisection_links = static_cast<std::size_t>(
+        std::llround(analytic_bisection(arr.type(), n)));
+  } else if (n >= 2) {
+    r.bisection_links = partition::bisection_width(arr.graph());
+  } else {
+    r.bisection_links = 0;
+  }
+
+  // Link model (Sec. VI-B): A_C = A_all / N.
+  r.chiplet_area_mm2 = params.total_area_mm2 / static_cast<double>(n);
+  r.link_area_mm2 = link_area_for(arr, r.chiplet_area_mm2, params);
+  LinkModelParams lp;
+  lp.link_area_mm2 = r.link_area_mm2;
+  lp.bump_pitch_mm = params.bump_pitch_mm;
+  lp.non_data_wires = params.non_data_wires;
+  lp.frequency_hz = params.frequency_hz;
+  r.per_link_bandwidth_bps = estimate_link(lp).bandwidth_bps;
+  r.full_global_bandwidth_bps =
+      static_cast<double>(n) *
+      static_cast<double>(params.sim.endpoints_per_chiplet) *
+      r.per_link_bandwidth_bps;
+}
+
+}  // namespace
+
+EvaluationResult evaluate_analytic(const Arrangement& arr,
+                                   const EvaluationParams& params) {
+  EvaluationResult r;
+  fill_analytic(arr, params, r);
+  return r;
+}
+
+EvaluationResult evaluate(const Arrangement& arr,
+                          const EvaluationParams& params) {
+  if (arr.chiplet_count() < 2) {
+    throw std::invalid_argument(
+        "evaluate: cycle-accurate evaluation needs >= 2 chiplets");
+  }
+  EvaluationResult r;
+  fill_analytic(arr, params, r);
+
+  // Zero-load latency (Fig. 7a): low injection rate, fresh simulator.
+  {
+    noc::Simulator sim(arr.graph(), params.sim);
+    const auto lat = sim.run_latency(
+        params.zero_load_injection_rate, params.latency_warmup,
+        params.latency_measure, params.latency_drain_limit);
+    r.zero_load_latency_cycles = lat.avg_packet_latency;
+    r.latency_run_drained = lat.drained;
+  }
+
+  // Saturation throughput (Fig. 7b): binary-search the knee of the
+  // accepted-vs-offered curve (fresh network per probe).
+  {
+    noc::SaturationSearchOptions search;
+    search.warmup = params.throughput_warmup;
+    search.measure = params.throughput_measure;
+    const auto sat = noc::find_saturation(arr.graph(), params.sim, search);
+    r.saturation_fraction = sat.accepted_flit_rate;
+    r.saturation_throughput_bps =
+        r.saturation_fraction * r.full_global_bandwidth_bps;
+  }
+  return r;
+}
+
+}  // namespace hm::core

@@ -1,0 +1,92 @@
+// End-to-end evaluation pipeline of Sec. VI: an arrangement of N chiplets is
+// turned into (a) analytic proxies (diameter, bisection width via the
+// partitioner for non-regular cases), (b) a per-link bandwidth from the
+// chiplet-shape solver + D2D link model, and (c) cycle-accurate zero-load
+// latency and saturation throughput from the NoC simulator. Saturation
+// throughput in Tb/s = accepted fraction x full global bandwidth, where the
+// full global bandwidth is N x endpoints/chiplet x per-link bandwidth
+// (Sec. VI-A).
+#pragma once
+
+#include <cstddef>
+
+#include "core/arrangement.hpp"
+#include "core/link_model.hpp"
+#include "core/shape.hpp"
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+
+namespace hm::core {
+
+/// All parameters of the paper's evaluation (defaults = Sec. VI values).
+struct EvaluationParams {
+  double total_area_mm2 = kDefaultTotalAreaMm2;  ///< A_all; A_C = A_all / N
+  double power_fraction = kDefaultPowerFraction;
+  double bump_pitch_mm = kDefaultBumpPitchMm;
+  int non_data_wires = kDefaultNonDataWires;
+  double frequency_hz = kDefaultFrequencyHz;
+
+  /// The paper hand-optimizes bump assignment for N <= 7 (Sec. VI-B) without
+  /// specifying how. When true, designs with N <= 7 chiplets grant each link
+  /// A_B = (1-p_p) * A_C / max_degree instead of the general sector formula.
+  bool hand_optimized_small_n = false;
+
+  /// Injection rate used for the zero-load latency measurement
+  /// (flits/cycle/endpoint; low enough to avoid queueing).
+  double zero_load_injection_rate = 0.01;
+
+  /// Cycle-accurate simulator knobs (defaults mirror Sec. VI-A).
+  noc::SimConfig sim;
+
+  /// Simulation phase lengths (cycles). The throughput windows apply to
+  /// each probe of the saturation binary search (~8 probes per design).
+  noc::Cycle latency_warmup = 3000;
+  noc::Cycle latency_measure = 8000;
+  noc::Cycle latency_drain_limit = 300000;
+  noc::Cycle throughput_warmup = 3500;
+  noc::Cycle throughput_measure = 3500;
+};
+
+/// Everything the paper reports per design point.
+struct EvaluationResult {
+  std::size_t chiplet_count = 0;
+  RegularityClass regularity = RegularityClass::kRegular;
+
+  // Analytic proxies (Sec. IV-D).
+  int diameter = 0;
+  double avg_hop_distance = 0.0;
+  std::size_t bisection_links = 0;
+
+  // Link model (Sec. V).
+  double chiplet_area_mm2 = 0.0;
+  double link_area_mm2 = 0.0;
+  double per_link_bandwidth_bps = 0.0;
+  double full_global_bandwidth_bps = 0.0;
+
+  // Cycle-accurate simulation (Sec. VI-A).
+  double zero_load_latency_cycles = 0.0;
+  /// Accepted flit rate at the saturation knee, as a fraction of the full
+  /// injection rate (binary search over offered load, BookSim methodology).
+  double saturation_fraction = 0.0;
+  double saturation_throughput_bps = 0.0; ///< fraction x full global BW
+  bool latency_run_drained = false;
+};
+
+/// Per-link bump-sector area A_B for an arrangement whose chiplets have area
+/// `chiplet_area` (applies the hand-optimized rule for N <= 7 when enabled).
+[[nodiscard]] double link_area_for(const Arrangement& arr,
+                                   double chiplet_area_mm2,
+                                   const EvaluationParams& params);
+
+/// Analytic-only evaluation (no simulation): proxies + link model.
+/// Bisection uses the closed forms for regular arrangements and the
+/// balanced partitioner otherwise (exactly like the paper's Fig. 6b).
+[[nodiscard]] EvaluationResult evaluate_analytic(
+    const Arrangement& arr, const EvaluationParams& params = {});
+
+/// Full evaluation including the cycle-accurate simulations (Fig. 7).
+/// Requires >= 2 chiplets (a 1-chiplet design has no ICI to simulate).
+[[nodiscard]] EvaluationResult evaluate(const Arrangement& arr,
+                                        const EvaluationParams& params = {});
+
+}  // namespace hm::core

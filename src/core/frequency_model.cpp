@@ -1,0 +1,45 @@
+#include "core/frequency_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hm::core {
+
+double full_rate_reach_mm(PackagingTech tech) {
+  switch (tech) {
+    case PackagingTech::kSiliconInterposer:
+      return 2.0;  // Sec. II: interposer links <= 2 mm [6]
+    case PackagingTech::kOrganicSubstrate:
+      return 4.0;  // Sec. V: adjacent-chiplet links < 4 mm in general
+  }
+  throw std::invalid_argument("full_rate_reach_mm: unknown technology");
+}
+
+double max_link_frequency_hz(double length_mm, PackagingTech tech,
+                             double full_rate_hz) {
+  if (!(length_mm > 0.0)) {
+    throw std::invalid_argument(
+        "max_link_frequency_hz: length must be positive");
+  }
+  if (!(full_rate_hz > 0.0)) {
+    throw std::invalid_argument(
+        "max_link_frequency_hz: full rate must be positive");
+  }
+  const double reach = full_rate_reach_mm(tech);
+  if (length_mm <= reach) return full_rate_hz;
+  return std::max(full_rate_hz / 8.0, full_rate_hz * reach / length_mm);
+}
+
+double adjacent_link_length_mm(const ChipletShape& shape) {
+  return shape.bump_edge_distance;
+}
+
+LinkEstimate estimate_link_with_length(const LinkModelParams& params,
+                                       double length_mm, PackagingTech tech) {
+  LinkModelParams derated = params;
+  derated.frequency_hz =
+      max_link_frequency_hz(length_mm, tech, params.frequency_hz);
+  return estimate_link(derated);
+}
+
+}  // namespace hm::core

@@ -1,0 +1,46 @@
+// Link-length-aware frequency model (extension of Sec. V). The paper keeps
+// the D2D operating frequency a constant input because it only connects
+// adjacent chiplets, whose links are short: "below 4 mm in general, for
+// N >= 10 chiplets even below 2 mm" (Sec. V). This module makes that
+// reasoning executable: it estimates the physical length of an adjacent-
+// chiplet link from the solved chiplet shape and derates the operating
+// frequency for longer (non-adjacent) links, quantifying why topologies
+// with long links (e.g. Kite [15]) pay a frequency penalty.
+#pragma once
+
+#include "core/link_model.hpp"
+#include "core/shape.hpp"
+
+namespace hm::core {
+
+/// 2.5D packaging technology (Sec. II).
+enum class PackagingTech {
+  kSiliconInterposer,  ///< micro-bumps; links must stay <= ~2 mm at full rate
+  kOrganicSubstrate,   ///< C4 bumps; links may reach ~4 mm at full rate
+};
+
+/// Length (mm) up to which a link runs at the full data rate.
+[[nodiscard]] double full_rate_reach_mm(PackagingTech tech);
+
+/// Maximum reliable operating frequency for a D2D link of `length_mm`.
+/// Piecewise model: full rate up to the technology's reach, then inversely
+/// proportional to length (doubling the length halves the rate, the
+/// first-order behaviour of channel loss-limited links [9]), floored at
+/// 1/8 of the full rate. Throws std::invalid_argument for length <= 0.
+[[nodiscard]] double max_link_frequency_hz(
+    double length_mm, PackagingTech tech,
+    double full_rate_hz = kDefaultFrequencyHz);
+
+/// Estimated physical length of a link between *adjacent* chiplets. We use
+/// the maximum bump-to-edge distance D_B (the quantity the shape solver
+/// minimizes, Sec. IV-B): this is the length figure whose values reproduce
+/// the paper's Sec. V claim exactly (e.g. 3.65 mm at N = 2, 1.63 mm at
+/// N = 10 with the default parameters). The worst-case bump-to-bump wire is
+/// up to 2 x D_B; use that pessimistic figure by doubling if desired.
+[[nodiscard]] double adjacent_link_length_mm(const ChipletShape& shape);
+
+/// Link bandwidth with length-dependent frequency derating applied.
+[[nodiscard]] LinkEstimate estimate_link_with_length(
+    const LinkModelParams& params, double length_mm, PackagingTech tech);
+
+}  // namespace hm::core

@@ -1,0 +1,82 @@
+#include "core/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/lattice_detail.hpp"
+
+namespace hm::core {
+
+namespace {
+
+Arrangement build_grid(std::vector<LatticeCoord> coords, RegularityClass cls) {
+  graph::Graph g = detail::build_lattice_graph(coords, detail::grid_neighbors);
+  return Arrangement(ArrangementType::kGrid, cls, std::move(coords),
+                     std::move(g));
+}
+
+}  // namespace
+
+Arrangement make_grid_regular(std::size_t side) {
+  if (side < 1) throw std::invalid_argument("make_grid_regular: side >= 1");
+  std::vector<LatticeCoord> coords;
+  coords.reserve(side * side);
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      coords.push_back({static_cast<int>(r), static_cast<int>(c)});
+    }
+  }
+  return build_grid(std::move(coords), RegularityClass::kRegular);
+}
+
+Arrangement make_grid_rect(std::size_t rows, std::size_t cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("make_grid_rect: rows, cols >= 1");
+  }
+  if (rows == cols) return make_grid_regular(rows);
+  std::vector<LatticeCoord> coords;
+  coords.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      coords.push_back({static_cast<int>(r), static_cast<int>(c)});
+    }
+  }
+  return build_grid(std::move(coords), RegularityClass::kSemiRegular);
+}
+
+Arrangement make_grid_irregular(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("make_grid_irregular: n >= 1");
+  const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  std::vector<LatticeCoord> coords;
+  coords.reserve(n);
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      coords.push_back({static_cast<int>(r), static_cast<int>(c)});
+    }
+  }
+  // Append the remaining chiplets: first an incomplete extra column (rows
+  // 0..side-1 at col side), then an incomplete extra row (Sec. IV-C).
+  std::size_t extra = n - side * side;
+  for (std::size_t r = 0; r < side && extra > 0; ++r, --extra) {
+    coords.push_back({static_cast<int>(r), static_cast<int>(side)});
+  }
+  for (std::size_t c = 0; extra > 0; ++c, --extra) {
+    coords.push_back({static_cast<int>(side), static_cast<int>(c)});
+  }
+  return build_grid(std::move(coords), RegularityClass::kIrregular);
+}
+
+Arrangement make_grid(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("make_grid: n >= 1");
+  const auto root = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(n))));
+  if (root * root == n) return make_grid_regular(root);
+  const auto [rows, cols] = detail::best_factor_pair(n);
+  if (static_cast<double>(cols) / static_cast<double>(rows) <=
+      detail::kMaxSemiRegularAspect) {
+    return make_grid_rect(rows, cols);
+  }
+  return make_grid_irregular(n);
+}
+
+}  // namespace hm::core

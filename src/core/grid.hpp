@@ -1,0 +1,27 @@
+// Grid (G) arrangement factories — the paper's baseline (Fig. 4a).
+#pragma once
+
+#include <cstddef>
+
+#include "core/arrangement.hpp"
+
+namespace hm::core {
+
+/// Regular side x side grid (N = side^2). Requires side >= 1.
+[[nodiscard]] Arrangement make_grid_regular(std::size_t side);
+
+/// Semi-regular rows x cols grid (classified regular when rows == cols).
+/// Requires rows, cols >= 1.
+[[nodiscard]] Arrangement make_grid_rect(std::size_t rows, std::size_t cols);
+
+/// Irregular grid with exactly `n` chiplets: the largest regular s x s grid
+/// with s^2 <= n plus appended chiplets forming an incomplete column and, if
+/// needed, an incomplete row (Sec. IV-C). Requires n >= 1.
+[[nodiscard]] Arrangement make_grid_irregular(std::size_t n);
+
+/// Auto-classified grid with `n` chiplets: regular if n is a perfect square,
+/// semi-regular if a factorization with aspect ratio <= 2 exists, irregular
+/// otherwise. Requires n >= 1.
+[[nodiscard]] Arrangement make_grid(std::size_t n);
+
+}  // namespace hm::core

@@ -1,0 +1,106 @@
+#include "core/hexamesh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/lattice_detail.hpp"
+
+namespace hm::core {
+
+namespace {
+
+/// Axial coordinates are stored as LatticeCoord{a = r, b = q}.
+LatticeCoord axial(int q, int r) { return LatticeCoord{r, q}; }
+
+/// The six axial directions, in ring-walk order.
+constexpr int kDirQ[6] = {1, 0, -1, -1, 0, 1};
+constexpr int kDirR[6] = {0, 1, 1, 0, -1, -1};
+
+/// Cells of ring k (k >= 1) in a contiguous cyclic walk (6k cells). The walk
+/// starts at the corner k * direction 4 and proceeds so that consecutive
+/// cells are lattice neighbours.
+std::vector<LatticeCoord> ring_walk(std::size_t k) {
+  std::vector<LatticeCoord> out;
+  out.reserve(6 * k);
+  int q = 0 * static_cast<int>(k) + kDirQ[4] * static_cast<int>(k);
+  int r = kDirR[4] * static_cast<int>(k);
+  for (int side = 0; side < 6; ++side) {
+    for (std::size_t step = 0; step < k; ++step) {
+      out.push_back(axial(q, r));
+      q += kDirQ[side];
+      r += kDirR[side];
+    }
+  }
+  return out;
+}
+
+/// All cells with hex distance <= radius, center first, then ring by ring in
+/// walk order (deterministic chiplet ids: id 0 is always the center).
+std::vector<LatticeCoord> ball(std::size_t radius) {
+  std::vector<LatticeCoord> coords{axial(0, 0)};
+  for (std::size_t k = 1; k <= radius; ++k) {
+    const auto ring = ring_walk(k);
+    coords.insert(coords.end(), ring.begin(), ring.end());
+  }
+  return coords;
+}
+
+Arrangement build_hm(std::vector<LatticeCoord> coords, RegularityClass cls) {
+  graph::Graph g = detail::build_lattice_graph(coords, detail::hex_neighbors);
+  return Arrangement(ArrangementType::kHexaMesh, cls, std::move(coords),
+                     std::move(g));
+}
+
+}  // namespace
+
+std::size_t hexamesh_chiplet_count(std::size_t rings) {
+  return 1 + 3 * rings * (rings + 1);
+}
+
+bool is_regular_hexamesh_count(std::size_t n) {
+  if (n < 1) return false;
+  return hexamesh_chiplet_count(hexamesh_max_complete_rings(n)) == n;
+}
+
+std::size_t hexamesh_max_complete_rings(std::size_t n) {
+  if (n < 1) {
+    throw std::invalid_argument("hexamesh_max_complete_rings: n >= 1");
+  }
+  std::size_t r = 0;
+  while (hexamesh_chiplet_count(r + 1) <= n) ++r;
+  return r;
+}
+
+Arrangement make_hexamesh_regular(std::size_t rings) {
+  return build_hm(ball(rings), RegularityClass::kRegular);
+}
+
+Arrangement make_hexamesh_irregular(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("make_hexamesh_irregular: n >= 1");
+  const std::size_t core_rings = hexamesh_max_complete_rings(n);
+  std::vector<LatticeCoord> coords = ball(core_rings);
+  std::size_t extra = n - coords.size();
+  if (extra > 0) {
+    const std::size_t k = core_rings + 1;
+    std::vector<LatticeCoord> ring = ring_walk(k);
+    // Rotate the walk so it starts at a mid-edge cell (which touches two
+    // cells of the completed core); corners touch only one. For k == 1 every
+    // ring cell touches just the center, so no rotation helps.
+    if (k >= 2) {
+      std::rotate(ring.begin(), ring.begin() + static_cast<long>(k / 2),
+                  ring.end());
+    }
+    coords.insert(coords.end(), ring.begin(),
+                  ring.begin() + static_cast<long>(extra));
+  }
+  return build_hm(std::move(coords), RegularityClass::kIrregular);
+}
+
+Arrangement make_hexamesh(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("make_hexamesh: n >= 1");
+  return is_regular_hexamesh_count(n) ? make_hexamesh_regular(
+                                            hexamesh_max_complete_rings(n))
+                                      : make_hexamesh_irregular(n);
+}
+
+}  // namespace hm::core

@@ -1,0 +1,35 @@
+// HexaMesh (HM) arrangement factories (Fig. 4d) — the paper's contribution:
+// rectangular chiplets in brickwall-style rows arranged as concentric rings
+// around a central chiplet. A regular HM with r rings has N = 1 + 3r(r+1)
+// chiplets (ring i holds 6i); its graph is the radius-r ball of the
+// triangular lattice, with diameter 2r and minimum degree 3.
+#pragma once
+
+#include <cstddef>
+
+#include "core/arrangement.hpp"
+
+namespace hm::core {
+
+/// Chiplet count of a regular HexaMesh with `rings` rings: 1 + 3r(r+1).
+[[nodiscard]] std::size_t hexamesh_chiplet_count(std::size_t rings);
+
+/// True iff n == 1 + 3r(r+1) for some r >= 0 (i.e. a regular HM exists).
+[[nodiscard]] bool is_regular_hexamesh_count(std::size_t n);
+
+/// Number of complete rings of the largest regular HM with <= n chiplets.
+[[nodiscard]] std::size_t hexamesh_max_complete_rings(std::size_t n);
+
+/// Regular HexaMesh with `rings` rings (rings >= 0; 0 = single chiplet).
+[[nodiscard]] Arrangement make_hexamesh_regular(std::size_t rings);
+
+/// Irregular HexaMesh with exactly `n` chiplets: the largest complete-ring
+/// core plus a partial outer ring, walked contiguously starting from a
+/// mid-edge position so every appended chiplet touches >= 2 already-placed
+/// chiplets (Sec. IV-C). Requires n >= 1.
+[[nodiscard]] Arrangement make_hexamesh_irregular(std::size_t n);
+
+/// Auto-classified HexaMesh: regular when n = 1 + 3r(r+1), else irregular.
+[[nodiscard]] Arrangement make_hexamesh(std::size_t n);
+
+}  // namespace hm::core

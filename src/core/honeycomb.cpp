@@ -1,0 +1,18 @@
+#include "core/honeycomb.hpp"
+
+#include "core/brickwall.hpp"
+
+namespace hm::core {
+
+Arrangement make_honeycomb(std::size_t n) {
+  // Same lattice, same graph, different chiplet shape (hexagons). We reuse
+  // the brickwall construction and re-tag the type; the Arrangement class
+  // refuses to emit a rectangle placement for honeycombs.
+  Arrangement bw = make_brickwall(n);
+  graph::Graph g = bw.graph();
+  std::vector<LatticeCoord> coords = bw.coords();
+  return Arrangement(ArrangementType::kHoneycomb, bw.regularity(),
+                     std::move(coords), std::move(g));
+}
+
+}  // namespace hm::core

@@ -1,0 +1,20 @@
+// Honeycomb (HC) arrangement (Fig. 4b): hexagonal chiplets in a honeycomb
+// pattern. The HC maximizes the average number of neighbours per chiplet
+// (asymptotically 6, the planar-graph bound) but violates the
+// rectangular-chiplet constraint; the paper keeps it for the theoretical
+// analysis only. Its adjacency graph is identical to the brickwall's
+// (Sec. IV-A), which is exactly how we construct it.
+#pragma once
+
+#include <cstddef>
+
+#include "core/arrangement.hpp"
+
+namespace hm::core {
+
+/// Honeycomb with `n` hexagonal chiplets (same graph as make_brickwall(n),
+/// same regularity classification). No rectangle placement is available:
+/// Arrangement::placement throws for this type. Requires n >= 1.
+[[nodiscard]] Arrangement make_honeycomb(std::size_t n);
+
+}  // namespace hm::core

@@ -1,0 +1,79 @@
+#include "core/io_chiplets.hpp"
+
+#include <stdexcept>
+
+namespace hm::core {
+
+namespace {
+
+/// The four axis-aligned sides of a rectangle, as outward I/O candidates.
+enum class Side { kNorth, kEast, kSouth, kWest };
+
+/// I/O rectangle of depth `d` mirrored across `side` of `r`.
+geom::Rect mirror_rect(const geom::Rect& r, Side side, double d) {
+  switch (side) {
+    case Side::kNorth: return geom::Rect{r.x, r.top(), r.w, d};
+    case Side::kSouth: return geom::Rect{r.x, r.y - d, r.w, d};
+    case Side::kEast: return geom::Rect{r.right(), r.y, d, r.h};
+    case Side::kWest: return geom::Rect{r.x - d, r.y, d, r.h};
+  }
+  throw std::logic_error("mirror_rect: bad side");
+}
+
+/// Length of `r`'s `side`.
+double side_length(const geom::Rect& r, Side side) {
+  return (side == Side::kNorth || side == Side::kSouth) ? r.w : r.h;
+}
+
+}  // namespace
+
+geom::ChipletPlacement IoFloorplan::combined_placement() const {
+  std::vector<geom::Rect> rects = compute.chiplets();
+  rects.reserve(rects.size() + io.size());
+  for (const IoSlot& slot : io) rects.push_back(slot.rect);
+  return geom::ChipletPlacement(std::move(rects));
+}
+
+IoFloorplan place_io_chiplets(const Arrangement& arr, double wc, double hc,
+                              double io_depth, std::size_t max_io) {
+  if (!(io_depth > 0.0)) {
+    throw std::invalid_argument("place_io_chiplets: io_depth must be > 0");
+  }
+  IoFloorplan plan;
+  plan.compute = arr.placement(wc, hc);  // validates wc/hc and type
+  const std::size_t n = plan.compute.size();
+
+  // Exposed side = no other compute chiplet shares any part of it. A side
+  // is covered iff some other chiplet's mirrored strip would overlap; we
+  // test contact directly: the candidate I/O rect overlaps a compute
+  // chiplet exactly when the side is (partially) covered.
+  for (std::size_t c = 0; c < n && (max_io == 0 || plan.io.size() < max_io);
+       ++c) {
+    const geom::Rect& r = plan.compute.chiplet(c);
+    for (Side side : {Side::kNorth, Side::kEast, Side::kSouth, Side::kWest}) {
+      if (max_io != 0 && plan.io.size() >= max_io) break;
+      const geom::Rect candidate = mirror_rect(r, side, io_depth);
+
+      bool free = true;
+      for (std::size_t other = 0; other < n && free; ++other) {
+        if (candidate.overlaps(plan.compute.chiplet(other))) free = false;
+      }
+      for (const IoSlot& placed : plan.io) {
+        if (!free) break;
+        if (candidate.overlaps(placed.rect)) free = false;
+      }
+      if (!free) continue;
+
+      IoSlot slot;
+      slot.rect = candidate;
+      slot.attached_chiplet = c;
+      slot.contact_mm = side_length(r, side);
+      plan.io.push_back(slot);
+    }
+  }
+
+  plan.extended = plan.combined_placement().adjacency_graph();
+  return plan;
+}
+
+}  // namespace hm::core

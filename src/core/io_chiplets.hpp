@@ -1,0 +1,51 @@
+// Perimeter I/O-chiplet placement (Sec. III-A, Fig. 2): the paper assumes
+// that chiplets for I/O drivers and other functions sit on the perimeter of
+// the compute-chiplet arrangement, where package solder balls are routable.
+// This module enumerates the perimeter slots of an arrangement, places I/O
+// chiplets flush against exposed compute-chiplet sides, and extends the
+// adjacency graph so the combined design can be analyzed and simulated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "geometry/placement.hpp"
+#include "graph/graph.hpp"
+
+namespace hm::core {
+
+/// One placed I/O chiplet.
+struct IoSlot {
+  geom::Rect rect;               ///< physical I/O chiplet rectangle
+  std::size_t attached_chiplet;  ///< compute chiplet it abuts
+  double contact_mm = 0.0;       ///< shared edge length with that chiplet
+};
+
+/// A compute arrangement extended with perimeter I/O chiplets.
+struct IoFloorplan {
+  geom::ChipletPlacement compute;  ///< the compute-chiplet placement
+  std::vector<IoSlot> io;          ///< accepted I/O slots
+  /// Adjacency graph over compute + I/O chiplets: vertices 0..N-1 are the
+  /// compute chiplets (same ids as the arrangement), vertices N.. are the
+  /// I/O chiplets in `io` order. Includes I/O-to-I/O contacts.
+  graph::Graph extended;
+
+  /// Compute + I/O rectangles in extended-graph vertex order (for rendering
+  /// and geometric checks).
+  [[nodiscard]] geom::ChipletPlacement combined_placement() const;
+};
+
+/// Places I/O chiplets around `arr` (compute chiplets of `wc` x `hc` mm).
+/// Every fully exposed side of a compute chiplet (no other chiplet touching
+/// it) yields a candidate I/O rectangle of depth `io_depth` mirrored across
+/// that side; candidates are accepted greedily in deterministic order
+/// (chiplet id, then side N/E/S/W) while they stay overlap-free.
+/// `max_io` = 0 accepts every non-overlapping candidate. Throws
+/// std::invalid_argument for non-positive dimensions or a honeycomb
+/// arrangement (no rectangle placement).
+[[nodiscard]] IoFloorplan place_io_chiplets(const Arrangement& arr, double wc,
+                                            double hc, double io_depth,
+                                            std::size_t max_io = 0);
+
+}  // namespace hm::core

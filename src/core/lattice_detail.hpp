@@ -1,0 +1,86 @@
+// Internal helpers shared by the arrangement generators: building the
+// adjacency graph of a set of lattice coordinates from a per-cell neighbour
+// rule, and choosing semi-regular factorizations. Not part of the public API.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "graph/graph.hpp"
+
+namespace hm::core::detail {
+
+/// Returns the lattice neighbours of a cell (candidates; they may or may not
+/// be occupied).
+using NeighborRule = std::function<std::vector<LatticeCoord>(LatticeCoord)>;
+
+/// Builds the adjacency graph over `coords`: an edge is added for every pair
+/// of occupied cells relates by the neighbour rule. The rule must be
+/// symmetric (u in rule(v) iff v in rule(u)).
+[[nodiscard]] inline graph::Graph build_lattice_graph(
+    const std::vector<LatticeCoord>& coords, const NeighborRule& rule) {
+  std::map<std::pair<int, int>, graph::NodeId> index;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    index[{coords[i].a, coords[i].b}] = static_cast<graph::NodeId>(i);
+  }
+  graph::Graph g(coords.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    for (const LatticeCoord& nb : rule(coords[i])) {
+      const auto it = index.find({nb.a, nb.b});
+      if (it != index.end() && it->second > static_cast<graph::NodeId>(i)) {
+        g.add_edge(static_cast<graph::NodeId>(i), it->second);
+      }
+    }
+  }
+  return g;
+}
+
+/// Best factorization n = rows * cols with rows <= cols, minimizing the
+/// aspect ratio cols/rows. Always exists (1 x n in the worst case).
+[[nodiscard]] inline std::pair<std::size_t, std::size_t> best_factor_pair(
+    std::size_t n) {
+  std::pair<std::size_t, std::size_t> best{1, n};
+  for (std::size_t r = 1; r * r <= n; ++r) {
+    if (n % r == 0) best = {r, n / r};
+  }
+  return best;
+}
+
+/// Aspect-ratio threshold below which a rows x cols factorization counts as
+/// a usable semi-regular arrangement (Sec. IV-C: "semi-regular arrangements
+/// make only sense if R and C are similar").
+inline constexpr double kMaxSemiRegularAspect = 2.0;
+
+/// Neighbour rule of the plain 2D grid lattice.
+[[nodiscard]] inline std::vector<LatticeCoord> grid_neighbors(LatticeCoord c) {
+  return {{c.a + 1, c.b}, {c.a - 1, c.b}, {c.a, c.b + 1}, {c.a, c.b - 1}};
+}
+
+/// Neighbour rule of the brickwall lattice: rows offset by half a chiplet,
+/// so each cell touches 2 cells in the row above and 2 below (parity-aware),
+/// plus its 2 same-row neighbours.
+[[nodiscard]] inline std::vector<LatticeCoord> brickwall_neighbors(
+    LatticeCoord c) {
+  const int r = c.a;
+  const int col = c.b;
+  const bool odd = ((r % 2) + 2) % 2 == 1;
+  const int lo = odd ? 0 : -1;  // column shift of the left upper/lower cell
+  return {{r, col - 1},     {r, col + 1},      {r + 1, col + lo},
+          {r + 1, col + lo + 1}, {r - 1, col + lo}, {r - 1, col + lo + 1}};
+}
+
+/// Neighbour rule of the HexaMesh lattice in axial coordinates stored as
+/// LatticeCoord{a = r, b = q}: the six triangular-lattice directions.
+[[nodiscard]] inline std::vector<LatticeCoord> hex_neighbors(LatticeCoord c) {
+  const int r = c.a;
+  const int q = c.b;
+  return {{r, q + 1},     {r, q - 1},     {r + 1, q},
+          {r - 1, q},     {r - 1, q + 1}, {r + 1, q - 1}};
+}
+
+}  // namespace hm::core::detail

@@ -1,0 +1,34 @@
+#include "core/link_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hm::core {
+
+void LinkModelParams::validate() const {
+  if (!(link_area_mm2 > 0.0)) {
+    throw std::invalid_argument("LinkModelParams: A_B must be positive");
+  }
+  if (!(bump_pitch_mm > 0.0)) {
+    throw std::invalid_argument("LinkModelParams: P_B must be positive");
+  }
+  if (non_data_wires < 0) {
+    throw std::invalid_argument("LinkModelParams: N_ndw must be >= 0");
+  }
+  if (!(frequency_hz > 0.0)) {
+    throw std::invalid_argument("LinkModelParams: f must be positive");
+  }
+}
+
+LinkEstimate estimate_link(const LinkModelParams& p) {
+  p.validate();
+  LinkEstimate e;
+  e.total_wires = static_cast<std::int64_t>(
+      std::floor(p.link_area_mm2 / (p.bump_pitch_mm * p.bump_pitch_mm)));
+  e.data_wires = std::max<std::int64_t>(0, e.total_wires - p.non_data_wires);
+  e.bandwidth_bps = static_cast<double>(e.data_wires) * p.frequency_hz;
+  return e;
+}
+
+}  // namespace hm::core

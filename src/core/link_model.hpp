@@ -1,0 +1,46 @@
+// D2D link bandwidth model (Sec. V, Table I):
+//   N_w  = A_B / P_B^2          wires that fit into the link's bump sector
+//   N_dw = N_w - N_ndw          data wires (minus handshake/clock/sideband)
+//   B    = N_dw * f             link bandwidth
+// The default parameters follow the paper's UCIe-based evaluation setup
+// (Sec. VI-B).
+#pragma once
+
+#include <cstdint>
+
+namespace hm::core {
+
+/// Paper defaults (Sec. VI-B, UCIe-derived).
+inline constexpr double kDefaultTotalAreaMm2 = 800.0;  ///< A_all
+inline constexpr double kDefaultPowerFraction = 0.4;   ///< p_p
+inline constexpr double kDefaultBumpPitchMm = 0.15;    ///< P_B (C4 bumps)
+inline constexpr int kDefaultNonDataWires = 12;        ///< N_ndw
+inline constexpr double kDefaultFrequencyHz = 16e9;    ///< f
+
+/// Micro-bump pitch for silicon interposers (Sec. II: 30-60 um).
+inline constexpr double kMicroBumpPitchMm = 0.045;
+
+/// Architectural inputs of the model (Table I).
+struct LinkModelParams {
+  double link_area_mm2 = 1.0;             ///< A_B
+  double bump_pitch_mm = kDefaultBumpPitchMm;  ///< P_B
+  int non_data_wires = kDefaultNonDataWires;   ///< N_ndw
+  double frequency_hz = kDefaultFrequencyHz;   ///< f
+
+  /// Throws std::invalid_argument when out of range.
+  void validate() const;
+};
+
+/// Model outputs.
+struct LinkEstimate {
+  std::int64_t total_wires = 0;    ///< N_w (floor of the area ratio)
+  std::int64_t data_wires = 0;     ///< N_dw, clamped at 0
+  double bandwidth_bps = 0.0;      ///< B = N_dw * f (bits/s)
+};
+
+/// Evaluates the model. Wire counts are floored to integers (a regular bump
+/// layout cannot use fractional bumps; the paper notes a staggered layout
+/// would fit slightly more).
+[[nodiscard]] LinkEstimate estimate_link(const LinkModelParams& p);
+
+}  // namespace hm::core

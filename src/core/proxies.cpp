@@ -1,0 +1,76 @@
+#include "core/proxies.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hm::core {
+
+namespace {
+
+double check_n(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("proxy formulas require n >= 1");
+  return static_cast<double>(n);
+}
+
+}  // namespace
+
+double grid_diameter(std::size_t n) {
+  const double nn = check_n(n);
+  return 2.0 * std::sqrt(nn) - 2.0;
+}
+
+double brickwall_diameter(std::size_t n) {
+  const double nn = check_n(n);
+  const double root = std::sqrt(nn);
+  return 2.0 * root - 2.0 - std::floor((root - 1.0) / 2.0);
+}
+
+double hexamesh_diameter(std::size_t n) {
+  const double nn = check_n(n);
+  return std::sqrt(12.0 * nn - 3.0) / 3.0 - 1.0;
+}
+
+double grid_bisection(std::size_t n) { return std::sqrt(check_n(n)); }
+
+double brickwall_bisection(std::size_t n) {
+  return 2.0 * std::sqrt(check_n(n)) - 1.0;
+}
+
+double hexamesh_bisection(std::size_t n) {
+  return 2.0 / 3.0 * std::sqrt(12.0 * check_n(n) - 3.0) - 1.0;
+}
+
+double analytic_diameter(ArrangementType t, std::size_t n) {
+  switch (t) {
+    case ArrangementType::kGrid: return grid_diameter(n);
+    case ArrangementType::kBrickwall:
+    case ArrangementType::kHoneycomb: return brickwall_diameter(n);
+    case ArrangementType::kHexaMesh: return hexamesh_diameter(n);
+  }
+  throw std::invalid_argument("analytic_diameter: unknown type");
+}
+
+double analytic_bisection(ArrangementType t, std::size_t n) {
+  switch (t) {
+    case ArrangementType::kGrid: return grid_bisection(n);
+    case ArrangementType::kBrickwall:
+    case ArrangementType::kHoneycomb: return brickwall_bisection(n);
+    case ArrangementType::kHexaMesh: return hexamesh_bisection(n);
+  }
+  throw std::invalid_argument("analytic_bisection: unknown type");
+}
+
+double asymptotic_diameter_ratio_bw() { return 3.0 / 4.0; }
+
+double asymptotic_diameter_ratio_hm() { return 1.0 / std::sqrt(3.0); }
+
+double asymptotic_bisection_ratio_bw() { return 2.0; }
+
+double asymptotic_bisection_ratio_hm() { return 4.0 / std::sqrt(3.0); }
+
+double max_avg_neighbors(std::size_t n) {
+  const double nn = check_n(n);
+  return 6.0 - 12.0 / nn;
+}
+
+}  // namespace hm::core

@@ -1,0 +1,51 @@
+// Closed-form performance proxies of Sec. IV-D: network diameter (latency
+// proxy) and bisection bandwidth in links (throughput proxy) for regular
+// arrangements, plus their asymptotic ratios vs the grid baseline.
+#pragma once
+
+#include <cstddef>
+
+#include "core/arrangement.hpp"
+
+namespace hm::core {
+
+/// D_G(N) = 2*sqrt(N) - 2 (regular grid; N a perfect square).
+[[nodiscard]] double grid_diameter(std::size_t n);
+
+/// D_BW(N) = 2*sqrt(N) - 2 - floor((sqrt(N)-1)/2) (regular brickwall).
+[[nodiscard]] double brickwall_diameter(std::size_t n);
+
+/// D_HM(N) = (1/3)*sqrt(12N - 3) - 1 (regular HexaMesh; N = 1 + 3r(r+1)).
+[[nodiscard]] double hexamesh_diameter(std::size_t n);
+
+/// B_G(N) = sqrt(N).
+[[nodiscard]] double grid_bisection(std::size_t n);
+
+/// B_BW(N) = 2*sqrt(N) - 1.
+[[nodiscard]] double brickwall_bisection(std::size_t n);
+
+/// B_HM(N) = (2/3)*sqrt(12N - 3) - 1.
+[[nodiscard]] double hexamesh_bisection(std::size_t n);
+
+/// Dispatch on arrangement type (honeycomb shares the brickwall formulas).
+[[nodiscard]] double analytic_diameter(ArrangementType t, std::size_t n);
+[[nodiscard]] double analytic_bisection(ArrangementType t, std::size_t n);
+
+/// lim D_BW/D_G = 3/4: the brickwall cuts the diameter by 25%.
+[[nodiscard]] double asymptotic_diameter_ratio_bw();
+
+/// lim D_HM/D_G = 1/sqrt(3) ~= 0.577: HexaMesh cuts the diameter by 42%.
+[[nodiscard]] double asymptotic_diameter_ratio_hm();
+
+/// lim B_BW/B_G = 2: the brickwall doubles the bisection bandwidth.
+[[nodiscard]] double asymptotic_bisection_ratio_bw();
+
+/// lim B_HM/B_G = 4/sqrt(3) ~= 2.31: HexaMesh improves it by 130%.
+[[nodiscard]] double asymptotic_bisection_ratio_hm();
+
+/// Upper bound on the average neighbour count of any planar arrangement
+/// (Sec. IV-A): 6 - 12/N. The honeycomb/brickwall family attains it
+/// asymptotically.
+[[nodiscard]] double max_avg_neighbors(std::size_t n);
+
+}  // namespace hm::core

@@ -1,0 +1,85 @@
+#include "core/shape.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hm::core {
+
+void ShapeParams::validate() const {
+  if (!(chiplet_area_mm2 > 0.0)) {
+    throw std::invalid_argument("ShapeParams: chiplet area must be positive");
+  }
+  if (!(power_fraction >= 0.0) || !(power_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "ShapeParams: power fraction must be in [0, 1)");
+  }
+}
+
+ChipletShape solve_grid_shape(const ShapeParams& p) {
+  p.validate();
+  const double ac = p.chiplet_area_mm2;
+  const double pp = p.power_fraction;
+  ChipletShape s;
+  s.width = std::sqrt(ac);
+  s.height = s.width;
+  s.power_width = std::sqrt(pp * ac);
+  s.power_height = s.power_width;
+  s.link_sector_area = (1.0 - pp) * ac / 4.0;
+  s.bump_edge_distance = (s.width - s.power_width) / 2.0;
+  s.link_sectors = 4;
+  return s;
+}
+
+ChipletShape solve_hex_shape(const ShapeParams& p) {
+  p.validate();
+  const double ac = p.chiplet_area_mm2;
+  const double pp = p.power_fraction;
+  ChipletShape s;
+  s.width = std::sqrt(ac * (2.0 + 4.0 * pp) / 3.0);
+  s.height = ac / s.width;
+  s.bump_edge_distance =
+      (1.0 - pp) * ac / std::sqrt(ac * (6.0 + 12.0 * pp));
+  s.power_width = s.width - 2.0 * s.bump_edge_distance;
+  s.power_height = s.width / 2.0;  // L_B = W_C / 2 (middle-band height)
+  s.link_sector_area = (1.0 - pp) * ac / 6.0;
+  s.link_sectors = 6;
+  return s;
+}
+
+ChipletShape solve_shape(ArrangementType t, const ShapeParams& p) {
+  switch (t) {
+    case ArrangementType::kGrid:
+      return solve_grid_shape(p);
+    case ArrangementType::kBrickwall:
+    case ArrangementType::kHexaMesh:
+      return solve_hex_shape(p);
+    case ArrangementType::kHoneycomb:
+      throw std::invalid_argument(
+          "solve_shape: honeycomb chiplets are not rectangular");
+  }
+  throw std::invalid_argument("solve_shape: unknown type");
+}
+
+double hex_shape_residual(const ChipletShape& s, const ShapeParams& p) {
+  const double lb = s.power_height;  // L_B
+  const double r1 = s.height - (2.0 * s.bump_edge_distance + lb);
+  const double r2 = s.width - 2.0 * lb;
+  const double r3 = s.power_width - (s.width - 2.0 * s.bump_edge_distance);
+  const double r4 = s.height * s.width - p.chiplet_area_mm2;
+  const double r5 = s.power_width * lb - p.chiplet_area_mm2 * p.power_fraction;
+  double worst = 0.0;
+  for (double r : {r1, r2, r3, r4, r5}) worst = std::max(worst, std::abs(r));
+  return worst;
+}
+
+std::vector<geom::BumpSector> bump_sectors(const ChipletShape& s) {
+  if (s.link_sectors == 4) {
+    return geom::grid_bump_layout(s.width, s.power_width);
+  }
+  if (s.link_sectors == 6) {
+    return geom::hex_bump_layout(s.width, s.height, s.bump_edge_distance);
+  }
+  throw std::invalid_argument("bump_sectors: unsupported sector count");
+}
+
+}  // namespace hm::core

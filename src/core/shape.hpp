@@ -1,0 +1,67 @@
+// Chiplet shape solver (Sec. IV-B): given the chiplet area A_C and the
+// fraction p_p of bumps reserved for the power supply, compute the chiplet
+// dimensions, the bump-sector area per D2D link A_B, and the maximum
+// bump-to-edge distance D_B that minimizes the D2D link length.
+//
+// Grid chiplets are square with a centered power square; brickwall/HexaMesh
+// chiplets solve the system of equations (1)-(5):
+//   H_C = 2 D_B + L_B          (1)
+//   W_C = 2 L_B                (2)
+//   W_P = W_C - 2 D_B          (3)
+//   H_C * W_C = A_C            (4)
+//   W_P * L_B = A_C * p_p      (5)
+#pragma once
+
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "geometry/bump_layout.hpp"
+
+namespace hm::core {
+
+/// Inputs of the shape solver.
+struct ShapeParams {
+  double chiplet_area_mm2 = 16.0;  ///< A_C
+  double power_fraction = 0.4;     ///< p_p in [0, 1)
+
+  /// Throws std::invalid_argument when out of range.
+  void validate() const;
+};
+
+/// Solved shape of one chiplet (all lengths mm, areas mm^2).
+struct ChipletShape {
+  double width = 0.0;             ///< W_C
+  double height = 0.0;            ///< H_C
+  double power_width = 0.0;       ///< W_P
+  double power_height = 0.0;      ///< H_P (grid) / L_B (hex layouts)
+  double link_sector_area = 0.0;  ///< A_B
+  double bump_edge_distance = 0.0;  ///< D_B
+  int link_sectors = 0;           ///< 4 (grid) or 6 (brickwall/HexaMesh)
+};
+
+/// Square grid chiplet (Fig. 5a): W_C = H_C = sqrt(A_C),
+/// A_B = (1-p_p) A_C / 4, D_B = (W_C - W_P)/2.
+[[nodiscard]] ChipletShape solve_grid_shape(const ShapeParams& p);
+
+/// Brickwall/HexaMesh chiplet (Fig. 5b): closed-form solution of (1)-(5):
+/// W_C = sqrt(A_C (2+4p_p)/3), H_C = A_C/W_C,
+/// D_B = (1-p_p) A_C / sqrt(A_C (6+12p_p)), A_B = (1-p_p) A_C / 6.
+[[nodiscard]] ChipletShape solve_hex_shape(const ShapeParams& p);
+
+/// Dispatch on arrangement type (throws for the honeycomb, whose chiplets
+/// are not rectangular).
+[[nodiscard]] ChipletShape solve_shape(ArrangementType t,
+                                       const ShapeParams& p);
+
+/// Largest residual of equations (1)-(5) for a hex-layout shape; ~0 for
+/// shapes produced by solve_hex_shape (used for validation).
+[[nodiscard]] double hex_shape_residual(const ChipletShape& s,
+                                        const ShapeParams& p);
+
+/// Concrete Fig. 5 bump-sector layout for a solved shape, in chiplet-local
+/// coordinates. Sector areas equal A_B (links) and p_p*A_C (power); the
+/// maximum bump-to-edge distance of every link sector equals D_B.
+[[nodiscard]] std::vector<geom::BumpSector> bump_sectors(
+    const ChipletShape& s);
+
+}  // namespace hm::core

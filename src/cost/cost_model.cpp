@@ -1,0 +1,93 @@
+#include "cost/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hm::cost {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+void ProcessParams::validate() const {
+  if (!(wafer_diameter_mm > 0.0) || !(wafer_cost > 0.0) ||
+      !(defect_density_per_mm2 >= 0.0) || !(clustering_alpha > 0.0)) {
+    throw std::invalid_argument("ProcessParams: out of range");
+  }
+}
+
+void SystemParams::validate() const {
+  if (!(total_logic_area_mm2 > 0.0) || num_chiplets < 1 ||
+      !(phy_area_fraction >= 0.0) || !(package_base_cost >= 0.0) ||
+      !(package_cost_per_chiplet >= 0.0) ||
+      !(assembly_yield_per_chiplet > 0.0) ||
+      !(assembly_yield_per_chiplet <= 1.0) || !(nre_cost >= 0.0) ||
+      volume < 1) {
+    throw std::invalid_argument("SystemParams: out of range");
+  }
+}
+
+double negative_binomial_yield(double area_mm2, const ProcessParams& p) {
+  p.validate();
+  if (!(area_mm2 > 0.0)) {
+    throw std::invalid_argument("yield: area must be positive");
+  }
+  return std::pow(
+      1.0 + area_mm2 * p.defect_density_per_mm2 / p.clustering_alpha,
+      -p.clustering_alpha);
+}
+
+double dies_per_wafer(double area_mm2, const ProcessParams& p) {
+  p.validate();
+  if (!(area_mm2 > 0.0)) {
+    throw std::invalid_argument("dies_per_wafer: area must be positive");
+  }
+  const double d = p.wafer_diameter_mm;
+  const double gross = kPi * d * d / 4.0 / area_mm2 -
+                       kPi * d / std::sqrt(2.0 * area_mm2);
+  return std::max(0.0, gross);
+}
+
+double good_die_cost(double area_mm2, const ProcessParams& p) {
+  const double dpw = dies_per_wafer(area_mm2, p);
+  if (dpw <= 0.0) {
+    throw std::invalid_argument(
+        "good_die_cost: die larger than the usable wafer");
+  }
+  return p.wafer_cost / (dpw * negative_binomial_yield(area_mm2, p));
+}
+
+CostBreakdown monolithic_cost(const SystemParams& s, const ProcessParams& p) {
+  s.validate();
+  CostBreakdown c;
+  c.compound_yield = negative_binomial_yield(s.total_logic_area_mm2, p);
+  c.silicon = good_die_cost(s.total_logic_area_mm2, p);
+  c.packaging = s.package_base_cost;  // single-die package
+  c.nre_per_unit = s.nre_cost / static_cast<double>(s.volume);
+  c.total = c.silicon + c.packaging + c.nre_per_unit;
+  return c;
+}
+
+CostBreakdown chiplet_cost(const SystemParams& s, const ProcessParams& p) {
+  s.validate();
+  const auto n = static_cast<double>(s.num_chiplets);
+  // Each chiplet carries its share of logic plus D2D PHY overhead.
+  const double chiplet_area =
+      s.total_logic_area_mm2 / n * (1.0 + s.phy_area_fraction);
+
+  CostBreakdown c;
+  // Known-good-die testing: silicon cost scales with per-chiplet yield;
+  // assembly can still lose the package.
+  c.compound_yield = std::pow(s.assembly_yield_per_chiplet, n);
+  const double silicon_per_unit = n * good_die_cost(chiplet_area, p);
+  const double packaging_per_unit =
+      s.package_base_cost + n * s.package_cost_per_chiplet;
+  // Assembly losses scrap the whole unit (silicon + package).
+  c.silicon = silicon_per_unit / c.compound_yield;
+  c.packaging = packaging_per_unit / c.compound_yield;
+  c.nre_per_unit = s.nre_cost / static_cast<double>(s.volume);
+  c.total = c.silicon + c.packaging + c.nre_per_unit;
+  return c;
+}
+
+}  // namespace hm::cost

@@ -1,0 +1,74 @@
+// Manufacturing cost / yield model (extension module). The paper motivates
+// 2.5D integration economically (Sec. I: yield, reuse, binning, NRE) and
+// points to Chiplet Actuary [17] for a full cost model; this module provides
+// a compact, classical version of that analysis so the economics claims can
+// be quantified alongside the ICI performance results:
+//   * negative-binomial defect yield   Y = (1 + A*D0/alpha)^(-alpha)
+//   * geometric dies-per-wafer estimate
+//   * per-good-die silicon cost, packaging and PHY-overhead terms
+//   * NRE amortization over production volume.
+#pragma once
+
+#include <cstddef>
+
+namespace hm::cost {
+
+/// Process/technology assumptions.
+struct ProcessParams {
+  double wafer_diameter_mm = 300.0;
+  double wafer_cost = 10000.0;            ///< $ per processed wafer
+  double defect_density_per_mm2 = 0.001;  ///< D0
+  double clustering_alpha = 3.0;          ///< negative-binomial alpha
+  /// Throws std::invalid_argument when out of range.
+  void validate() const;
+};
+
+/// Yield of a die of `area_mm2` under the negative-binomial defect model.
+[[nodiscard]] double negative_binomial_yield(double area_mm2,
+                                             const ProcessParams& p);
+
+/// Geometric dies-per-wafer estimate:
+/// pi (d/2)^2 / A  -  pi d / sqrt(2 A)  (edge loss correction).
+[[nodiscard]] double dies_per_wafer(double area_mm2, const ProcessParams& p);
+
+/// Silicon cost of one *good* die: wafer cost / (dies per wafer * yield).
+[[nodiscard]] double good_die_cost(double area_mm2, const ProcessParams& p);
+
+/// System-level assumptions for a monolithic-vs-chiplets comparison.
+struct SystemParams {
+  double total_logic_area_mm2 = 800.0;  ///< functional silicon, A_all
+  std::size_t num_chiplets = 16;        ///< identical compute chiplets
+  /// Extra PHY area per chiplet as a fraction of the chiplet area (D2D PHY
+  /// overhead; Sec. I notes combined chiplet area exceeds the monolith).
+  double phy_area_fraction = 0.05;
+  double package_base_cost = 30.0;        ///< substrate/interposer base
+  double package_cost_per_chiplet = 5.0;  ///< bonding/assembly per chiplet
+  /// Probability a known-good die survives assembly (per chiplet).
+  double assembly_yield_per_chiplet = 0.999;
+  double nre_cost = 5e6;        ///< masks/design, amortized over volume
+  std::size_t volume = 100000;  ///< units produced
+  /// Throws std::invalid_argument when out of range.
+  void validate() const;
+};
+
+/// Cost decomposition of one sellable unit.
+struct CostBreakdown {
+  double silicon = 0.0;
+  double packaging = 0.0;
+  double nre_per_unit = 0.0;
+  double total = 0.0;
+  double compound_yield = 0.0;  ///< die yield (monolith) or assembly yield
+};
+
+/// Cost of the monolithic implementation (one big die, no PHY overhead,
+/// cheap package).
+[[nodiscard]] CostBreakdown monolithic_cost(const SystemParams& s,
+                                            const ProcessParams& p);
+
+/// Cost of the 2.5D implementation: N identical chiplets (known-good-die
+/// tested, so silicon cost uses per-chiplet yield) + packaging + NRE for a
+/// single chiplet design (reuse).
+[[nodiscard]] CostBreakdown chiplet_cost(const SystemParams& s,
+                                         const ProcessParams& p);
+
+}  // namespace hm::cost

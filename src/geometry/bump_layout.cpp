@@ -1,0 +1,111 @@
+#include "geometry/bump_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hm::geom {
+
+std::string to_string(SectorRole role) {
+  switch (role) {
+    case SectorRole::kPower: return "power";
+    case SectorRole::kLinkNorth: return "N";
+    case SectorRole::kLinkEast: return "E";
+    case SectorRole::kLinkSouth: return "S";
+    case SectorRole::kLinkWest: return "W";
+    case SectorRole::kLinkNorthWest: return "NW";
+    case SectorRole::kLinkNorthEast: return "NE";
+    case SectorRole::kLinkSouthWest: return "SW";
+    case SectorRole::kLinkSouthEast: return "SE";
+  }
+  return "?";
+}
+
+std::vector<BumpSector> grid_bump_layout(double wc, double wp) {
+  if (!(wc > 0.0) || !(wp > 0.0) || !(wp < wc)) {
+    throw std::invalid_argument(
+        "grid_bump_layout: need 0 < wp < wc (power square inside chiplet)");
+  }
+  const double m = (wc - wp) / 2.0;  // frame thickness == D_B
+  // Power square corners.
+  const Point p00{m, m}, p10{wc - m, m}, p11{wc - m, wc - m}, p01{m, wc - m};
+  // Chiplet corners.
+  const Point c00{0, 0}, c10{wc, 0}, c11{wc, wc}, c01{0, wc};
+
+  std::vector<BumpSector> sectors;
+  sectors.push_back({SectorRole::kPower, Polygon{{p00, p10, p11, p01}}});
+  // Four trapezoids between the chiplet edge and the power square, bounded by
+  // the diagonals chiplet-corner -> power-corner (all counter-clockwise).
+  sectors.push_back({SectorRole::kLinkSouth, Polygon{{c00, c10, p10, p00}}});
+  sectors.push_back({SectorRole::kLinkEast, Polygon{{c10, c11, p11, p10}}});
+  sectors.push_back({SectorRole::kLinkNorth, Polygon{{c11, c01, p01, p11}}});
+  sectors.push_back({SectorRole::kLinkWest, Polygon{{c01, c00, p00, p01}}});
+  return sectors;
+}
+
+std::vector<BumpSector> hex_bump_layout(double wc, double hc, double db) {
+  if (!(wc > 0.0) || !(hc > 0.0) || !(db > 0.0) || !(2.0 * db < hc) ||
+      !(2.0 * db < wc)) {
+    throw std::invalid_argument(
+        "hex_bump_layout: need 0 < 2*db < min(wc, hc)");
+  }
+  const double lb = hc - 2.0 * db;  // middle band height (paper's L_B)
+  const double half = wc / 2.0;
+
+  auto rect_sector = [](SectorRole role, double x, double y, double w,
+                        double h) {
+    return BumpSector{role, to_polygon(Rect{x, y, w, h})};
+  };
+
+  std::vector<BumpSector> sectors;
+  // Middle band: West | Power | East.
+  sectors.push_back(
+      rect_sector(SectorRole::kPower, db, db, wc - 2.0 * db, lb));
+  sectors.push_back(rect_sector(SectorRole::kLinkWest, 0.0, db, db, lb));
+  sectors.push_back(rect_sector(SectorRole::kLinkEast, wc - db, db, db, lb));
+  // Top band: NW | NE.
+  sectors.push_back(
+      rect_sector(SectorRole::kLinkNorthWest, 0.0, hc - db, half, db));
+  sectors.push_back(
+      rect_sector(SectorRole::kLinkNorthEast, half, hc - db, half, db));
+  // Bottom band: SW | SE.
+  sectors.push_back(rect_sector(SectorRole::kLinkSouthWest, 0.0, 0.0, half, db));
+  sectors.push_back(
+      rect_sector(SectorRole::kLinkSouthEast, half, 0.0, half, db));
+  return sectors;
+}
+
+double max_bump_to_edge_distance(const BumpSector& sector, double wc,
+                                 double hc) {
+  if (sector.role == SectorRole::kPower) {
+    throw std::invalid_argument(
+        "max_bump_to_edge_distance: power sector serves no edge");
+  }
+  double worst = 0.0;
+  for (const Point& p : sector.shape.vertices) {
+    double d = 0.0;
+    switch (sector.role) {
+      case SectorRole::kLinkNorth:
+      case SectorRole::kLinkNorthWest:
+      case SectorRole::kLinkNorthEast:
+        d = hc - p.y;
+        break;
+      case SectorRole::kLinkSouth:
+      case SectorRole::kLinkSouthWest:
+      case SectorRole::kLinkSouthEast:
+        d = p.y;
+        break;
+      case SectorRole::kLinkEast:
+        d = wc - p.x;
+        break;
+      case SectorRole::kLinkWest:
+        d = p.x;
+        break;
+      case SectorRole::kPower:
+        break;  // unreachable
+    }
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+}  // namespace hm::geom

@@ -1,0 +1,58 @@
+// Bump-sector layouts of paper Fig. 5: the chiplet area is divided into one
+// central sector for power-supply bumps and one sector of C4/micro-bumps per
+// D2D link. The layout determines the area A_B available per link (hence the
+// link bandwidth, Sec. V) and the maximum bump-to-edge distance D_B (hence
+// the link length, Sec. IV-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace hm::geom {
+
+/// Which chiplet edge (or function) a bump sector serves.
+enum class SectorRole {
+  kPower,           ///< central power-supply bumps
+  kLinkNorth,       ///< grid: link across the top edge
+  kLinkEast,        ///< grid + hex: link across the right edge
+  kLinkSouth,       ///< grid: link across the bottom edge
+  kLinkWest,        ///< grid + hex: link across the left edge
+  kLinkNorthWest,   ///< hex: link across the left half of the top edge
+  kLinkNorthEast,   ///< hex: link across the right half of the top edge
+  kLinkSouthWest,   ///< hex: link across the left half of the bottom edge
+  kLinkSouthEast,   ///< hex: link across the right half of the bottom edge
+};
+
+/// Short name, e.g. "power", "N", "NE".
+[[nodiscard]] std::string to_string(SectorRole role);
+
+/// One bump sector in chiplet-local coordinates (origin = lower-left corner).
+struct BumpSector {
+  SectorRole role = SectorRole::kPower;
+  Polygon shape;
+
+  [[nodiscard]] double area() const { return shape.area(); }
+};
+
+/// Fig. 5a layout for grid chiplets: a centered power square of side `wp`
+/// inside a square chiplet of side `wc`, with the remaining frame cut along
+/// the corner diagonals into four congruent trapezoids (N/E/S/W links).
+/// Requires 0 < wp < wc.
+[[nodiscard]] std::vector<BumpSector> grid_bump_layout(double wc, double wp);
+
+/// Fig. 5b layout for brickwall/HexaMesh chiplets: chiplet wc x hc, horizontal
+/// bands of heights db / (hc - 2db) / db; the middle band holds
+/// West | Power | East and each outer band splits at wc/2 into two corner
+/// sectors (NW/NE resp. SW/SE). Requires 0 < 2*db < min(wc, hc).
+[[nodiscard]] std::vector<BumpSector> hex_bump_layout(double wc, double hc,
+                                                      double db);
+
+/// Maximum distance from any bump position in `sector` to the chiplet edge
+/// the sector's link crosses (the paper's D_B). `wc`/`hc` are the chiplet
+/// dimensions the sector was built for. Throws for the power sector.
+[[nodiscard]] double max_bump_to_edge_distance(const BumpSector& sector,
+                                               double wc, double hc);
+
+}  // namespace hm::geom

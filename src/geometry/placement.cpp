@@ -1,0 +1,115 @@
+#include "geometry/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace hm::geom {
+
+ChipletPlacement::ChipletPlacement(std::vector<Rect> chiplets)
+    : chiplets_(std::move(chiplets)) {
+  for (const Rect& r : chiplets_) r.validate();
+}
+
+std::size_t ChipletPlacement::add_chiplet(const Rect& r) {
+  r.validate();
+  chiplets_.push_back(r);
+  return chiplets_.size() - 1;
+}
+
+void ChipletPlacement::check_index(std::size_t i) const {
+  if (i >= chiplets_.size()) {
+    throw std::out_of_range("ChipletPlacement: chiplet index out of range");
+  }
+}
+
+const Rect& ChipletPlacement::chiplet(std::size_t i) const {
+  check_index(i);
+  return chiplets_[i];
+}
+
+bool ChipletPlacement::is_overlap_free() const noexcept {
+  for (std::size_t a = 0; a < chiplets_.size(); ++a) {
+    for (std::size_t b = a + 1; b < chiplets_.size(); ++b) {
+      if (chiplets_[a].overlaps(chiplets_[b])) return false;
+    }
+  }
+  return true;
+}
+
+graph::Graph ChipletPlacement::adjacency_graph(double min_contact) const {
+  graph::Graph g(chiplets_.size());
+  for (std::size_t a = 0; a < chiplets_.size(); ++a) {
+    for (std::size_t b = a + 1; b < chiplets_.size(); ++b) {
+      if (shared_edge_length(chiplets_[a], chiplets_[b]) > min_contact) {
+        g.add_edge(static_cast<graph::NodeId>(a),
+                   static_cast<graph::NodeId>(b));
+      }
+    }
+  }
+  return g;
+}
+
+double ChipletPlacement::contact_length(std::size_t a, std::size_t b) const {
+  check_index(a);
+  check_index(b);
+  return shared_edge_length(chiplets_[a], chiplets_[b]);
+}
+
+double ChipletPlacement::center_distance(std::size_t a, std::size_t b) const {
+  check_index(a);
+  check_index(b);
+  return distance(chiplets_[a].center(), chiplets_[b].center());
+}
+
+Rect ChipletPlacement::bounding_box() const {
+  return hm::geom::bounding_box(chiplets_);
+}
+
+double ChipletPlacement::utilization() const {
+  const Rect bb = bounding_box();
+  double total = 0.0;
+  for (const Rect& r : chiplets_) total += r.area();
+  return total / bb.area();
+}
+
+std::string ChipletPlacement::to_ascii(std::size_t cols) const {
+  if (chiplets_.empty()) return "(empty placement)\n";
+  const Rect bb = bounding_box();
+  cols = std::max<std::size_t>(cols, 8);
+  // Terminal cells are roughly twice as tall as wide; halve the row count to
+  // keep the aspect ratio visually faithful.
+  const double cell_w = bb.w / static_cast<double>(cols);
+  const std::size_t rows =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::lround(bb.h / cell_w / 2.0)));
+  const double cell_h = bb.h / static_cast<double>(rows);
+
+  static const char* kGlyphs =
+      "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  const std::size_t n_glyphs = 62;
+
+  std::string out;
+  out.reserve((cols + 1) * rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    // Render top row first (larger y).
+    const double y =
+        bb.bottom() + (static_cast<double>(rows - 1 - row) + 0.5) * cell_h;
+    for (std::size_t col = 0; col < cols; ++col) {
+      const double x = bb.left() + (static_cast<double>(col) + 0.5) * cell_w;
+      char glyph = '.';
+      for (std::size_t i = 0; i < chiplets_.size(); ++i) {
+        if (chiplets_[i].contains({x, y})) {
+          glyph = kGlyphs[i % n_glyphs];
+          break;
+        }
+      }
+      out.push_back(glyph);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace hm::geom

@@ -1,0 +1,68 @@
+// Physical chiplet placement: a rectangle per chiplet plus derived
+// quantities — the shared-edge adjacency graph (paper Sec. III-C), overlap
+// validation, bounding box, and area utilization. The combinatorial
+// arrangement generators in hm_core produce placements; tests cross-check
+// that geometric adjacency equals the combinatorial adjacency graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "graph/graph.hpp"
+
+namespace hm::geom {
+
+/// A set of placed chiplet rectangles (index = chiplet id).
+class ChipletPlacement {
+ public:
+  ChipletPlacement() = default;
+
+  /// Takes ownership of the chiplet rectangles. Each rectangle must have
+  /// positive area (std::invalid_argument otherwise).
+  explicit ChipletPlacement(std::vector<Rect> chiplets);
+
+  /// Appends one chiplet; returns its id.
+  std::size_t add_chiplet(const Rect& r);
+
+  [[nodiscard]] std::size_t size() const noexcept { return chiplets_.size(); }
+  [[nodiscard]] const Rect& chiplet(std::size_t i) const;
+  [[nodiscard]] const std::vector<Rect>& chiplets() const noexcept {
+    return chiplets_;
+  }
+
+  /// True iff no two chiplets overlap with positive area. O(n^2); placements
+  /// here are <= a few hundred chiplets.
+  [[nodiscard]] bool is_overlap_free() const noexcept;
+
+  /// Derives the adjacency graph: vertices = chiplets, edge {a,b} iff the
+  /// rectangles share a boundary segment strictly longer than `min_contact`
+  /// (mm). Corner-only contact never creates an edge (paper Sec. III-C).
+  [[nodiscard]] graph::Graph adjacency_graph(double min_contact = kEps) const;
+
+  /// Length of the shared boundary between chiplets a and b (0 if none).
+  [[nodiscard]] double contact_length(std::size_t a, std::size_t b) const;
+
+  /// Straight-line distance between the centers of the shared boundary
+  /// segments is not defined for non-adjacent chiplets; for adjacent ones the
+  /// D2D link spans the shared edge, so we report the center-to-center
+  /// distance of the two rectangles as a conservative routing-length proxy.
+  [[nodiscard]] double center_distance(std::size_t a, std::size_t b) const;
+
+  /// Smallest axis-aligned rectangle containing all chiplets
+  /// (the interposer/package-substrate footprint under the arrangement).
+  [[nodiscard]] Rect bounding_box() const;
+
+  /// sum(chiplet areas) / bounding-box area, in (0, 1].
+  [[nodiscard]] double utilization() const;
+
+  /// ASCII rendering of the placement (top view), `cols` characters wide.
+  /// Each chiplet is filled with a letter/digit cycling through ids.
+  [[nodiscard]] std::string to_ascii(std::size_t cols = 72) const;
+
+ private:
+  void check_index(std::size_t i) const;
+  std::vector<Rect> chiplets_;
+};
+
+}  // namespace hm::geom

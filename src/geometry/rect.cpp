@@ -1,0 +1,90 @@
+#include "geometry/rect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hm::geom {
+
+void Rect::validate() const {
+  if (!(w > 0.0) || !(h > 0.0)) {
+    throw std::invalid_argument("Rect: width and height must be positive, got " +
+                                to_string());
+  }
+}
+
+bool Rect::overlaps(const Rect& o) const noexcept {
+  return left() < o.right() - kEps && o.left() < right() - kEps &&
+         bottom() < o.top() - kEps && o.bottom() < top() - kEps;
+}
+
+bool Rect::contains(const Point& p) const noexcept {
+  return p.x >= left() - kEps && p.x <= right() + kEps &&
+         p.y >= bottom() - kEps && p.y <= top() + kEps;
+}
+
+std::string Rect::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Rect(%.4g, %.4g, %.4g, %.4g)", x, y, w, h);
+  return buf;
+}
+
+double shared_edge_length(const Rect& a, const Rect& b) noexcept {
+  // Vertical contact: a's right edge against b's left edge or vice versa.
+  if (std::abs(a.right() - b.left()) < kEps ||
+      std::abs(b.right() - a.left()) < kEps) {
+    const double overlap =
+        std::min(a.top(), b.top()) - std::max(a.bottom(), b.bottom());
+    return overlap > kEps ? overlap : 0.0;
+  }
+  // Horizontal contact: a's top edge against b's bottom edge or vice versa.
+  if (std::abs(a.top() - b.bottom()) < kEps ||
+      std::abs(b.top() - a.bottom()) < kEps) {
+    const double overlap =
+        std::min(a.right(), b.right()) - std::max(a.left(), b.left());
+    return overlap > kEps ? overlap : 0.0;
+  }
+  return 0.0;
+}
+
+double distance(const Point& a, const Point& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double Polygon::signed_area() const noexcept {
+  double twice = 0.0;
+  const std::size_t n = vertices.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = vertices[i];
+    const Point& q = vertices[(i + 1) % n];
+    twice += p.x * q.y - q.x * p.y;
+  }
+  return twice / 2.0;
+}
+
+double Polygon::area() const noexcept { return std::abs(signed_area()); }
+
+Polygon to_polygon(const Rect& r) {
+  return Polygon{{{r.left(), r.bottom()},
+                  {r.right(), r.bottom()},
+                  {r.right(), r.top()},
+                  {r.left(), r.top()}}};
+}
+
+Rect bounding_box(const std::vector<Rect>& rects) {
+  if (rects.empty()) {
+    throw std::invalid_argument("bounding_box: empty rectangle list");
+  }
+  double lo_x = rects[0].left(), hi_x = rects[0].right();
+  double lo_y = rects[0].bottom(), hi_y = rects[0].top();
+  for (const Rect& r : rects) {
+    lo_x = std::min(lo_x, r.left());
+    hi_x = std::max(hi_x, r.right());
+    lo_y = std::min(lo_y, r.bottom());
+    hi_y = std::max(hi_y, r.top());
+  }
+  return Rect{lo_x, lo_y, hi_x - lo_x, hi_y - lo_y};
+}
+
+}  // namespace hm::geom

@@ -1,0 +1,79 @@
+// Planar geometry primitives used to model physical chiplet placements
+// (paper Figs. 2-5): axis-aligned rectangles for chiplets and bump sectors,
+// and simple polygons for the trapezoidal bump sectors of the grid layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hm::geom {
+
+/// Geometric tolerance (mm) for adjacency/containment decisions. Chiplet
+/// dimensions are O(1..30) mm and coordinates are built from a handful of
+/// floating-point operations, so 1e-6 mm absorbs all rounding error while
+/// staying far below manufacturing scales (bump pitches are >= 30e-3 mm).
+inline constexpr double kEps = 1e-6;
+
+/// A 2D point (mm).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// An axis-aligned rectangle with lower-left corner (x, y), width w, height h
+/// (all mm). Degenerate (zero-area) rectangles are allowed only as
+/// intermediate values; validate() rejects them.
+struct Rect {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  [[nodiscard]] double left() const noexcept { return x; }
+  [[nodiscard]] double right() const noexcept { return x + w; }
+  [[nodiscard]] double bottom() const noexcept { return y; }
+  [[nodiscard]] double top() const noexcept { return y + h; }
+  [[nodiscard]] double area() const noexcept { return w * h; }
+  [[nodiscard]] Point center() const noexcept { return {x + w / 2, y + h / 2}; }
+
+  /// Throws std::invalid_argument unless w > 0 and h > 0.
+  void validate() const;
+
+  /// True iff the two rectangles overlap with positive area.
+  [[nodiscard]] bool overlaps(const Rect& o) const noexcept;
+
+  /// True iff `p` lies inside or on the boundary (within kEps).
+  [[nodiscard]] bool contains(const Point& p) const noexcept;
+
+  /// "Rect(x, y, w, h)" with 4 significant digits.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Length of the shared boundary segment between two non-overlapping,
+/// edge-adjacent rectangles; 0 if they only touch at a corner or not at all.
+/// This implements the paper's adjacency rule (Sec. III-C): chiplets are
+/// connectable iff they share a common edge of positive length.
+[[nodiscard]] double shared_edge_length(const Rect& a, const Rect& b) noexcept;
+
+/// Euclidean distance between two points.
+[[nodiscard]] double distance(const Point& a, const Point& b) noexcept;
+
+/// A simple polygon (vertices in counter-clockwise order).
+struct Polygon {
+  std::vector<Point> vertices;
+
+  /// Signed shoelace area; positive for counter-clockwise orientation.
+  [[nodiscard]] double signed_area() const noexcept;
+
+  /// Absolute enclosed area.
+  [[nodiscard]] double area() const noexcept;
+};
+
+/// The polygon of a rectangle (counter-clockwise from the lower-left corner).
+[[nodiscard]] Polygon to_polygon(const Rect& r);
+
+/// Smallest axis-aligned rectangle enclosing all given rectangles.
+/// Throws std::invalid_argument for an empty input.
+[[nodiscard]] Rect bounding_box(const std::vector<Rect>& rects);
+
+}  // namespace hm::geom

@@ -1,0 +1,112 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace hm::graph {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  if (src >= g.node_count()) {
+    throw std::out_of_range("bfs_distances: source out of range");
+  }
+  std::vector<int> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  int ecc = 0;
+  for (int d : dist) {
+    if (d == kUnreachable) {
+      throw std::invalid_argument("eccentricity: graph is disconnected");
+    }
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  if (g.node_count() <= 1) return 0;
+  int diam = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+double average_distance(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n <= 1) return 0.0;
+  long long total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int d : bfs_distances(g, v)) {
+      if (d == kUnreachable) {
+        throw std::invalid_argument("average_distance: graph is disconnected");
+      }
+      total += d;
+    }
+  }
+  return static_cast<double>(total) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d == kUnreachable; });
+}
+
+bool satisfies_planar_bound(const Graph& g) {
+  const std::size_t v = g.node_count();
+  if (v < 3) return true;
+  return g.edge_count() <= 3 * v - 6;
+}
+
+double planar_avg_degree_bound(std::size_t v) {
+  if (v < 3) {
+    throw std::invalid_argument("planar_avg_degree_bound requires v >= 3");
+  }
+  return 6.0 - 12.0 / static_cast<double>(v);
+}
+
+std::vector<std::vector<int>> all_pairs_distances(const Graph& g) {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    dist.push_back(bfs_distances(g, v));
+  }
+  return dist;
+}
+
+std::vector<std::size_t> distance_histogram(const Graph& g) {
+  std::vector<std::size_t> hist;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (NodeId u = v; u < g.node_count(); ++u) {
+      const int d = dist[u];
+      if (d == kUnreachable) continue;
+      if (hist.size() <= static_cast<std::size_t>(d)) {
+        hist.resize(static_cast<std::size_t>(d) + 1, 0);
+      }
+      ++hist[static_cast<std::size_t>(d)];
+    }
+  }
+  return hist;
+}
+
+}  // namespace hm::graph

@@ -1,0 +1,55 @@
+// Graph algorithms used by the arrangement analysis (paper Sec. III-C and
+// IV-D): BFS distances, eccentricity, diameter (latency proxy), average
+// shortest-path distance (zero-load-latency predictor), connectivity, and the
+// planar average-degree bound of Sec. IV-A.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hm::graph {
+
+/// Distance value for unreachable vertices.
+inline constexpr int kUnreachable = -1;
+
+/// Breadth-first-search distances (in hops) from `src` to every vertex.
+/// Unreachable vertices get kUnreachable.
+[[nodiscard]] std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+/// Largest finite BFS distance from `src` (the vertex eccentricity).
+/// Throws std::invalid_argument if some vertex is unreachable from `src`.
+[[nodiscard]] int eccentricity(const Graph& g, NodeId src);
+
+/// Network diameter: the maximum over all vertex pairs of the shortest-path
+/// hop distance (the paper's latency proxy). Throws std::invalid_argument if
+/// the graph is disconnected; returns 0 for graphs with <= 1 vertex.
+[[nodiscard]] int diameter(const Graph& g);
+
+/// Mean shortest-path distance over all ordered vertex pairs (u != v).
+/// This predicts zero-load latency up to the per-hop cost. Throws if
+/// disconnected; returns 0 for graphs with <= 1 vertex.
+[[nodiscard]] double average_distance(const Graph& g);
+
+/// True iff every vertex is reachable from every other (or v <= 1).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True iff the graph satisfies the planar edge bound e <= 3v - 6 for v >= 3
+/// (vacuously true for v < 3). All shared-edge chiplet-adjacency graphs are
+/// planar, so this must hold for every arrangement (paper Sec. IV-A).
+[[nodiscard]] bool satisfies_planar_bound(const Graph& g);
+
+/// Upper bound on the average degree of a planar graph: 6 - 12/v (v >= 3).
+[[nodiscard]] double planar_avg_degree_bound(std::size_t v);
+
+/// Full all-pairs shortest-path distance matrix (hops); dist[u][v] ==
+/// kUnreachable when v is not reachable from u.
+[[nodiscard]] std::vector<std::vector<int>> all_pairs_distances(const Graph& g);
+
+/// Histogram of shortest-path distances over unordered reachable pairs:
+/// result[d] = number of pairs at distance d (result[0] == node_count).
+[[nodiscard]] std::vector<std::size_t> distance_histogram(const Graph& g);
+
+}  // namespace hm::graph

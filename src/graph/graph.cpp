@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hm::graph {
+
+Graph::Graph(std::size_t n) : adj_(n) {}
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void Graph::check_node(NodeId v) const {
+  if (v >= adj_.size()) {
+    throw std::out_of_range("Graph: node id " + std::to_string(v) +
+                            " out of range (node_count=" +
+                            std::to_string(adj_.size()) + ")");
+  }
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  if (a == b) {
+    throw std::invalid_argument("Graph: self-loops are not allowed");
+  }
+  if (has_edge(a, b)) {
+    throw std::invalid_argument("Graph: duplicate edge {" + std::to_string(a) +
+                                ", " + std::to_string(b) + "}");
+  }
+  auto insert_sorted = [](std::vector<NodeId>& list, NodeId v) {
+    list.insert(std::lower_bound(list.begin(), list.end(), v), v);
+  };
+  insert_sorted(adj_[a], b);
+  insert_sorted(adj_[b], a);
+  ++edge_count_;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adj_[v];
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& list = adj_[a];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  check_node(v);
+  return adj_[v].size();
+}
+
+std::size_t Graph::min_degree() const noexcept {
+  std::size_t best = adj_.empty() ? 0 : adj_[0].size();
+  for (const auto& list : adj_) best = std::min(best, list.size());
+  return best;
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& list : adj_) best = std::max(best, list.size());
+  return best;
+}
+
+double Graph::avg_degree() const noexcept {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) /
+         static_cast<double>(adj_.size());
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId a = 0; a < adj_.size(); ++a) {
+    for (NodeId b : adj_[a]) {
+      if (a < b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+std::string Graph::to_string() const {
+  return "Graph(v=" + std::to_string(node_count()) +
+         ", e=" + std::to_string(edge_count()) + ")";
+}
+
+}  // namespace hm::graph

@@ -1,0 +1,73 @@
+// Minimal undirected-graph library used to represent chiplet arrangements
+// (paper Sec. III-C: vertices = chiplets, edges = D2D links between chiplets
+// that share a boundary edge).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hm::graph {
+
+/// Vertex identifier. Vertices are dense integers 0..node_count()-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected simple graph (no self-loops, no parallel edges) with a
+/// dense vertex numbering. Adjacency lists are kept sorted so that
+/// neighbour iteration is deterministic and `has_edge` is O(log d).
+class Graph {
+ public:
+  /// Creates a graph with `n` isolated vertices.
+  explicit Graph(std::size_t n = 0);
+
+  /// Appends a new isolated vertex and returns its id.
+  NodeId add_node();
+
+  /// Adds the undirected edge {a, b}.
+  /// Self-loops and duplicate edges are rejected with std::invalid_argument;
+  /// out-of-range endpoints with std::out_of_range.
+  void add_edge(NodeId a, NodeId b);
+
+  /// Number of vertices.
+  [[nodiscard]] std::size_t node_count() const noexcept { return adj_.size(); }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Sorted neighbours of `v`.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const;
+
+  /// True iff the undirected edge {a, b} exists.
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// Degree (number of neighbours) of `v`.
+  [[nodiscard]] std::size_t degree(NodeId v) const;
+
+  /// Smallest vertex degree; 0 for the empty graph.
+  [[nodiscard]] std::size_t min_degree() const noexcept;
+
+  /// Largest vertex degree; 0 for the empty graph.
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// Average vertex degree 2e/v; 0 for the empty graph.
+  [[nodiscard]] double avg_degree() const noexcept;
+
+  /// All undirected edges as (a, b) pairs with a < b, lexicographically sorted.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Human-readable single-line summary, e.g. "Graph(v=9, e=12)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace hm::graph

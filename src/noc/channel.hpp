@@ -1,0 +1,56 @@
+// Fixed-latency channels: flits and credits are scheduled with an arrival
+// cycle and delivered in FIFO order. Arrival times are monotone because the
+// sender schedules at (now + constant latency), so a deque suffices.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <utility>
+
+#include "noc/flit.hpp"
+
+namespace hm::noc {
+
+/// FIFO delay line carrying flits.
+class FlitChannel {
+ public:
+  void push(const Flit& f, Cycle arrival) {
+    assert(q_.empty() || q_.back().first <= arrival);
+    q_.emplace_back(arrival, f);
+  }
+  [[nodiscard]] bool ready(Cycle now) const {
+    return !q_.empty() && q_.front().first <= now;
+  }
+  Flit pop() {
+    Flit f = q_.front().second;
+    q_.pop_front();
+    return f;
+  }
+  [[nodiscard]] std::size_t in_flight() const { return q_.size(); }
+
+ private:
+  std::deque<std::pair<Cycle, Flit>> q_;
+};
+
+/// FIFO delay line carrying credit returns (the VC being credited).
+class CreditChannel {
+ public:
+  void push(int vc, Cycle arrival) {
+    assert(q_.empty() || q_.back().first <= arrival);
+    q_.emplace_back(arrival, vc);
+  }
+  [[nodiscard]] bool ready(Cycle now) const {
+    return !q_.empty() && q_.front().first <= now;
+  }
+  int pop() {
+    const int vc = q_.front().second;
+    q_.pop_front();
+    return vc;
+  }
+  [[nodiscard]] std::size_t in_flight() const { return q_.size(); }
+
+ private:
+  std::deque<std::pair<Cycle, int>> q_;
+};
+
+}  // namespace hm::noc

@@ -1,0 +1,104 @@
+#include "noc/endpoint.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hm::noc {
+
+Endpoint::Endpoint(std::uint16_t id, const SimConfig& cfg)
+    : id_(id), cfg_(cfg) {
+  credits_.assign(cfg_.vcs, cfg_.buffer_depth);
+}
+
+void Endpoint::wire_injection(FlitChannel* channel, int latency) {
+  if (channel == nullptr || latency < 1) {
+    throw std::invalid_argument("Endpoint::wire_injection: bad wiring");
+  }
+  inj_channel_ = channel;
+  inj_latency_ = latency;
+}
+
+bool Endpoint::try_enqueue(const Packet& p) {
+  if (queue_.size() >= static_cast<std::size_t>(cfg_.source_queue_capacity)) {
+    return false;
+  }
+  assert(p.src_endpoint == id_);
+  queue_.push_back(p);
+  ++packets_enqueued_;
+  return true;
+}
+
+void Endpoint::receive_credit(int vc) {
+  ++credits_[vc];
+  assert(credits_[vc] <= cfg_.buffer_depth);
+}
+
+void Endpoint::inject(Cycle now) {
+  if (queue_.empty() || inj_channel_ == nullptr) return;
+
+  // Pick a VC for a fresh packet (round-robin among VCs with credit).
+  if (active_vc_ < 0) {
+    for (int i = 0; i < cfg_.vcs; ++i) {
+      const int vc = (rr_vc_ + i) % cfg_.vcs;
+      if (credits_[vc] > 0) {
+        active_vc_ = vc;
+        rr_vc_ = (vc + 1) % cfg_.vcs;
+        next_flit_ = 0;
+        break;
+      }
+    }
+    if (active_vc_ < 0) return;  // all VCs back-pressured
+  }
+
+  if (credits_[active_vc_] <= 0) return;  // stall mid-packet
+
+  const Packet& p = queue_.front();
+  Flit f;
+  f.packet_id = p.id;
+  f.src_endpoint = p.src_endpoint;
+  f.dst_endpoint = p.dst_endpoint;
+  f.dst_router = static_cast<std::uint16_t>(
+      p.dst_endpoint / cfg_.endpoints_per_chiplet);
+  f.flit_index = static_cast<std::uint16_t>(next_flit_);
+  f.head = next_flit_ == 0;
+  f.tail = next_flit_ == p.length - 1;
+  f.vc = static_cast<std::uint8_t>(active_vc_);
+  f.gen_time = p.gen_time;
+
+  inj_channel_->push(f, now + inj_latency_);
+  --credits_[active_vc_];
+  ++flits_injected_;
+  ++next_flit_;
+  if (f.tail) {
+    queue_.pop_front();
+    active_vc_ = -1;
+    next_flit_ = 0;
+  }
+}
+
+void Endpoint::receive_flit(const Flit& f, Cycle now) {
+  assert(f.dst_endpoint == id_);
+  ++sink_.flits_ejected;
+  if (f.tail) {
+    ++sink_.packets_ejected;
+    if (f.gen_time >= window_begin_ && f.gen_time < window_end_) {
+      ++sink_.tagged_packets;
+      sink_.tagged_latency_sum += static_cast<std::uint64_t>(now - f.gen_time);
+    }
+  }
+}
+
+void Endpoint::set_measurement_window(Cycle begin, Cycle end) {
+  window_begin_ = begin;
+  window_end_ = end;
+}
+
+std::size_t Endpoint::pending_flits() const noexcept {
+  std::size_t flits = 0;
+  for (const Packet& p : queue_) flits += p.length;
+  // Subtract the part of the front packet that has already been injected.
+  flits -= static_cast<std::size_t>(next_flit_);
+  return flits;
+}
+
+}  // namespace hm::noc

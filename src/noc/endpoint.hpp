@@ -1,0 +1,84 @@
+// A network endpoint: packet source (bounded source queue, credit-aware flit
+// injection onto its router port) and packet sink (latency accounting over a
+// measurement window). Each chiplet hosts `endpoints_per_chiplet` endpoints
+// (paper Sec. VI-A uses two).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "noc/channel.hpp"
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+
+namespace hm::noc {
+
+/// Sink-side statistics of one endpoint.
+struct SinkStats {
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t packets_ejected = 0;
+  /// Packets generated inside the measurement window that have been
+  /// delivered, and their cumulative latency (tail ejection - generation).
+  std::uint64_t tagged_packets = 0;
+  std::uint64_t tagged_latency_sum = 0;
+};
+
+class Endpoint {
+ public:
+  /// `id` is the global endpoint id; its router is id / endpoints_per_chiplet.
+  Endpoint(std::uint16_t id, const SimConfig& cfg);
+
+  /// Wires the injection channel toward the local router.
+  void wire_injection(FlitChannel* channel, int latency);
+
+  /// Tries to append a packet to the source queue; false when full.
+  bool try_enqueue(const Packet& p);
+
+  /// Delivers an injection credit for router-input VC `vc`.
+  void receive_credit(int vc);
+
+  /// Sends at most one flit of the packet currently being serialized.
+  void inject(Cycle now);
+
+  /// Sink: consumes an ejected flit (infinite acceptance).
+  void receive_flit(const Flit& f, Cycle now);
+
+  /// Sets the measurement window [begin, end): packets with gen_time inside
+  /// it contribute to tagged latency stats on delivery.
+  void set_measurement_window(Cycle begin, Cycle end);
+
+  [[nodiscard]] const SinkStats& sink() const noexcept { return sink_; }
+  [[nodiscard]] std::uint64_t flits_injected() const noexcept {
+    return flits_injected_;
+  }
+  [[nodiscard]] std::uint64_t packets_enqueued() const noexcept {
+    return packets_enqueued_;
+  }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return queue_.size();
+  }
+  /// Flits belonging to enqueued-but-not-yet-fully-injected packets.
+  [[nodiscard]] std::size_t pending_flits() const noexcept;
+
+ private:
+  std::uint16_t id_;
+  SimConfig cfg_;
+  FlitChannel* inj_channel_ = nullptr;
+  int inj_latency_ = 1;
+
+  std::deque<Packet> queue_;
+  std::vector<int> credits_;  ///< per router-input VC
+  int active_vc_ = -1;        ///< VC of the packet being serialized
+  int next_flit_ = 0;         ///< next flit index of the active packet
+  int rr_vc_ = 0;             ///< round-robin start for VC selection
+
+  std::uint64_t flits_injected_ = 0;
+  std::uint64_t packets_enqueued_ = 0;
+  SinkStats sink_;
+  Cycle window_begin_ = 0;
+  Cycle window_end_ = std::numeric_limits<Cycle>::min();
+};
+
+}  // namespace hm::noc

@@ -1,0 +1,43 @@
+// Flow-control units (flits) and packets. A packet is serialized into
+// `packet_length` flits; the head flit carries the routing decision state
+// (escape flag and up*/down* phase), body/tail flits follow the head's path
+// through the virtual channels the head allocated (wormhole switching).
+#pragma once
+
+#include <cstdint>
+
+namespace hm::noc {
+
+/// Simulation time in cycles.
+using Cycle = std::int64_t;
+
+/// One flow-control unit.
+struct Flit {
+  std::uint32_t packet_id = 0;
+  std::uint16_t src_endpoint = 0;
+  std::uint16_t dst_endpoint = 0;
+  std::uint16_t dst_router = 0;
+  std::uint16_t flit_index = 0;  ///< position within the packet
+  bool head = false;
+  bool tail = false;
+  /// Routed on the escape network (up*/down* on VC 0); once set it stays set
+  /// for the rest of the path (conservative Duato protocol).
+  bool escape = false;
+  /// up*/down* phase: 0 = may still ascend, 1 = descending only.
+  std::uint8_t ud_phase = 0;
+  /// VC the flit travels on over the current channel.
+  std::uint8_t vc = 0;
+  Cycle gen_time = 0;     ///< cycle the packet was created at the source
+  Cycle ready_time = 0;   ///< earliest cycle the flit may leave the router
+};
+
+/// A packet pending injection at an endpoint.
+struct Packet {
+  std::uint32_t id = 0;
+  std::uint16_t src_endpoint = 0;
+  std::uint16_t dst_endpoint = 0;
+  std::uint16_t length = 1;  ///< flits
+  Cycle gen_time = 0;
+};
+
+}  // namespace hm::noc

@@ -1,0 +1,83 @@
+// The assembled inter-chiplet network: one router per chiplet (vertex), two
+// directed channels per D2D link (edge), and `endpoints_per_chiplet`
+// endpoints per router, exactly as the paper configures BookSim2
+// (Sec. VI-A). Pure transport: traffic generation lives in the Simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "noc/channel.hpp"
+#include "noc/config.hpp"
+#include "noc/endpoint.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "noc/rng.hpp"
+
+namespace hm::noc {
+
+/// A ready-to-run network instance built from an arrangement graph.
+class Network {
+ public:
+  /// Builds routers, endpoints, channels and routing tables for `g`
+  /// (connected, >= 1 vertex). The graph is only read during construction.
+  Network(const graph::Graph& g, const SimConfig& cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Executes one cycle: channel delivery, endpoint injection, router step.
+  void step(Cycle now, Rng& rng);
+
+  [[nodiscard]] std::size_t num_routers() const noexcept {
+    return routers_.size();
+  }
+  [[nodiscard]] std::size_t num_endpoints() const noexcept {
+    return endpoints_.size();
+  }
+  [[nodiscard]] Endpoint& endpoint(std::size_t e) { return *endpoints_[e]; }
+  [[nodiscard]] const Endpoint& endpoint(std::size_t e) const {
+    return *endpoints_[e];
+  }
+  [[nodiscard]] Router& router(std::size_t r) { return *routers_[r]; }
+  [[nodiscard]] const RoutingTables& tables() const noexcept {
+    return *tables_;
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+
+  /// Flits buffered in routers plus flits on channels (conservation checks).
+  [[nodiscard]] std::size_t flits_in_network() const;
+
+  /// Sum of injected / ejected flits over all endpoints.
+  [[nodiscard]] std::uint64_t total_flits_injected() const;
+  [[nodiscard]] std::uint64_t total_flits_ejected() const;
+
+  /// Runs all router invariant checks; false + reason on violation.
+  [[nodiscard]] bool invariants_ok(std::string* why = nullptr) const;
+
+ private:
+  struct RouterLink {
+    FlitChannel flits;      ///< from -> to
+    CreditChannel credits;  ///< to -> from (credit returns)
+    graph::NodeId from = 0;
+    graph::NodeId to = 0;
+    std::size_t out_port_at_from = 0;
+    std::size_t in_port_at_to = 0;
+  };
+  struct EndpointChannels {
+    FlitChannel injection;      ///< endpoint -> router
+    CreditChannel inj_credits;  ///< router -> endpoint
+    FlitChannel ejection;       ///< router -> endpoint
+  };
+
+  SimConfig cfg_;
+  std::unique_ptr<RoutingTables> tables_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<RouterLink>> links_;
+  std::vector<std::unique_ptr<EndpointChannels>> ep_channels_;
+};
+
+}  // namespace hm::noc

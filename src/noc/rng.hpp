@@ -1,0 +1,56 @@
+// Small, fast, deterministic PRNG for the simulator hot loop
+// (xoshiro256** seeded via SplitMix64). Header-only.
+#pragma once
+
+#include <cstdint>
+
+namespace hm::noc {
+
+/// xoshiro256** by Blackman & Vigna: excellent statistical quality, a few
+/// cycles per draw, fully deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) {
+    // SplitMix64 seeding avoids correlated low-entropy states.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next 64 random bits.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (p <= 0 never, p >= 1 always).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) { return next() % n; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace hm::noc

@@ -1,0 +1,320 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hm::noc {
+
+Router::Router(std::uint32_t id, const SimConfig& cfg,
+               const RoutingTables* tables)
+    : id_(id),
+      cfg_(cfg),
+      tables_(tables),
+      n_network_ports_(tables->num_ports(id)),
+      n_ports_(n_network_ports_ +
+               static_cast<std::size_t>(cfg.endpoints_per_chiplet)) {
+  cfg_.validate();
+  in_.assign(n_ports_, std::vector<InputVc>(cfg_.vcs));
+  out_.assign(n_ports_, std::vector<OutputVc>(cfg_.vcs));
+  for (std::size_t p = 0; p < n_ports_; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      // Network outputs start with the downstream buffer depth; ejection
+      // outputs are modelled with effectively infinite credits (the endpoint
+      // always sinks flits; the port still serializes 1 flit/cycle).
+      out_[p][v].credits =
+          p < n_network_ports_ ? cfg_.buffer_depth : (1 << 30);
+    }
+  }
+  out_channel_.assign(n_ports_, nullptr);
+  out_latency_.assign(n_ports_, 1);
+  credit_channel_.assign(n_ports_, nullptr);
+  credit_latency_.assign(n_ports_, 1);
+  sa_in_rr_.assign(n_ports_, 0);
+}
+
+void Router::wire_output(std::size_t port, FlitChannel* channel, int latency) {
+  if (port >= n_ports_ || channel == nullptr || latency < 1) {
+    throw std::invalid_argument("Router::wire_output: bad wiring");
+  }
+  out_channel_[port] = channel;
+  out_latency_[port] = latency;
+}
+
+void Router::wire_credit_return(std::size_t port, CreditChannel* channel,
+                                int latency) {
+  if (port >= n_ports_ || channel == nullptr || latency < 1) {
+    throw std::invalid_argument("Router::wire_credit_return: bad wiring");
+  }
+  credit_channel_[port] = channel;
+  credit_latency_[port] = latency;
+}
+
+void Router::receive_flit(std::size_t port, Flit f, Cycle now) {
+  assert(port < n_ports_);
+  assert(f.vc < cfg_.vcs);
+  InputVc& iv = in_[port][f.vc];
+  assert(iv.buf.size() <
+         static_cast<std::size_t>(cfg_.buffer_depth));  // credits guarantee
+  f.ready_time = now + cfg_.router_latency;
+  iv.buf.push_back(f);
+}
+
+void Router::receive_credit(std::size_t port, int vc) {
+  assert(port < n_network_ports_);
+  ++out_[port][vc].credits;
+  assert(out_[port][vc].credits <= cfg_.buffer_depth);
+}
+
+void Router::route_compute(InputVc& iv) {
+  const Flit& head = iv.buf.front();
+  assert(head.head);
+  if (head.dst_router == id_) {
+    // Deliver locally: ejection port of the destination endpoint.
+    const int local_ep =
+        static_cast<int>(head.dst_endpoint) -
+        static_cast<int>(id_) * cfg_.endpoints_per_chiplet;
+    assert(local_ep >= 0 && local_ep < cfg_.endpoints_per_chiplet);
+    iv.out_port = static_cast<int>(n_network_ports_) + local_ep;
+    iv.out_vc = 0;
+    iv.out_is_ejection = true;
+    iv.escape = false;
+    iv.flits_sent = 0;
+    iv.blocked_cycles = 0;
+    iv.state = VcState::kActive;
+  } else {
+    iv.out_is_ejection = false;
+    iv.blocked_cycles = 0;
+    iv.state = VcState::kNeedsVc;
+  }
+}
+
+bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
+  const Flit& head = iv.buf.front();
+  const graph::NodeId dst = head.dst_router;
+
+  const bool use_minimal = cfg_.routing != RoutingMode::kUpDownOnly &&
+                           !head.escape && cfg_.vcs > 1;
+  if (use_minimal) {
+    const auto& ports = tables_->minimal_ports(id_, dst);
+    std::size_t first = 0;
+    std::size_t count = ports.size();
+    if (cfg_.routing == RoutingMode::kDeterministicMinimal) {
+      // anynet-style: one fixed shortest path per (node, destination).
+      count = 1;
+    } else if (ports.size() > 1) {
+      // Adaptive: rotate the starting candidate to spread load.
+      first = static_cast<std::size_t>(rng.uniform_int(ports.size()));
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const int port = ports[(i + first) % ports.size()];
+      for (int vc = 1; vc < cfg_.vcs; ++vc) {
+        OutputVc& ov = out_[port][vc];
+        if (ov.owner < 0) {
+          ov.owner = iv_flat;
+          iv.out_port = port;
+          iv.out_vc = vc;
+          iv.escape = false;
+          iv.flits_sent = 0;
+          iv.state = VcState::kActive;
+          return true;
+        }
+      }
+    }
+  }
+
+  // Escape (or up*/down*-only mode): deterministic up*/down* next hop.
+  // Headers that still have adaptive options only consider the escape VC
+  // after `escape_threshold` blocked cycles, so the escape tree root does
+  // not become the bottleneck at saturation; deadlock freedom is preserved
+  // for any finite threshold (a blocked header eventually requests the
+  // always-draining escape network).
+  const bool allow_escape =
+      !use_minimal || iv.blocked_cycles >= cfg_.escape_threshold;
+  if (allow_escape) {
+    const EscapeHop hop = tables_->escape_hop(id_, dst, head.ud_phase);
+    const int vc_lo = 0;
+    const int vc_hi = cfg_.routing == RoutingMode::kUpDownOnly ? cfg_.vcs : 1;
+    for (int vc = vc_lo; vc < vc_hi; ++vc) {
+      OutputVc& ov = out_[hop.port][vc];
+      if (ov.owner < 0) {
+        ov.owner = iv_flat;
+        iv.out_port = hop.port;
+        iv.out_vc = vc;
+        iv.escape = true;
+        iv.next_phase = hop.next_phase;
+        iv.flits_sent = 0;
+        iv.state = VcState::kActive;
+        return true;
+      }
+    }
+  }
+  ++iv.blocked_cycles;
+  return false;
+}
+
+void Router::step(Cycle now, Rng& rng) {
+  now_ = now;
+  const int total_vcs = static_cast<int>(n_ports_) * cfg_.vcs;
+
+  // --- RC: classify fresh heads -------------------------------------------
+  for (std::size_t p = 0; p < n_ports_; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      InputVc& iv = in_[p][v];
+      if (iv.state == VcState::kIdle && !iv.buf.empty()) {
+        assert(iv.buf.front().head);
+        route_compute(iv);
+      }
+    }
+  }
+
+  // --- VA: allocate output VCs in round-robin order ------------------------
+  for (int i = 0; i < total_vcs; ++i) {
+    const int idx = (va_rr_ + i) % total_vcs;
+    InputVc& iv = in_vc(idx);
+    if (iv.state == VcState::kNeedsVc) {
+      try_allocate_vc(iv, idx, rng);
+    }
+  }
+  va_rr_ = (va_rr_ + 1) % total_vcs;
+
+  // --- SA: switch allocation + traversal -----------------------------------
+  switch_allocate(now);
+
+  // --- Escape fallback: release blocked, not-yet-started allocations -------
+  revoke_blocked_heads();
+}
+
+void Router::switch_allocate(Cycle now) {
+  const int total_vcs = static_cast<int>(n_ports_) * cfg_.vcs;
+  std::vector<char> in_port_used(n_ports_, 0);
+  std::vector<char> out_port_used(n_ports_, 0);
+
+  // iSLIP-style iterations: each pass matches still-unmatched output ports
+  // to still-unmatched input ports.
+  for (int iter = 0; iter < cfg_.sa_iterations; ++iter) {
+  bool granted_any = false;
+  for (std::size_t i = 0; i < n_ports_; ++i) {
+    const std::size_t out_p = (static_cast<std::size_t>(sa_out_rr_) + i) %
+                              n_ports_;
+    if (out_channel_[out_p] == nullptr || out_port_used[out_p]) continue;
+
+    // Pick one requesting input VC in round-robin order.
+    for (int j = 0; j < total_vcs; ++j) {
+      const int idx = (sa_in_rr_[out_p] + j) % total_vcs;
+      InputVc& iv = in_vc(idx);
+      const auto in_port = static_cast<std::size_t>(idx) /
+                           static_cast<std::size_t>(cfg_.vcs);
+      if (iv.state != VcState::kActive || iv.buf.empty()) continue;
+      if (iv.out_port != static_cast<int>(out_p)) continue;
+      if (in_port_used[in_port]) continue;
+      if (iv.buf.front().ready_time > now) continue;
+      OutputVc& ov = out_[out_p][iv.out_vc];
+      if (ov.credits <= 0) continue;
+
+      // Grant: traverse the switch and the output link.
+      Flit f = iv.buf.front();
+      iv.buf.pop_front();
+      f.vc = static_cast<std::uint8_t>(iv.out_vc);
+      if (iv.escape) {
+        f.escape = true;
+        f.ud_phase = iv.next_phase;
+      }
+      out_channel_[out_p]->push(f, now + out_latency_[out_p]);
+      --ov.credits;
+      ++iv.flits_sent;
+      in_port_used[in_port] = 1;
+      out_port_used[out_p] = 1;
+      granted_any = true;
+
+      // Return a credit for the freed buffer slot upstream.
+      if (credit_channel_[in_port] != nullptr) {
+        credit_channel_[in_port]->push(
+            static_cast<int>(static_cast<std::size_t>(idx) %
+                             static_cast<std::size_t>(cfg_.vcs)),
+            now + credit_latency_[in_port]);
+      }
+
+      if (f.tail) {
+        // Release the input VC and (for network outputs) the output VC.
+        if (!iv.out_is_ejection) ov.owner = -1;
+        iv.state = VcState::kIdle;
+        iv.out_port = -1;
+        iv.out_vc = -1;
+        iv.escape = false;
+        iv.next_phase = 0;
+        iv.flits_sent = 0;
+      }
+      sa_in_rr_[out_p] = (idx + 1) % total_vcs;
+      break;
+    }
+  }
+  if (!granted_any) break;  // no further matches possible
+  }
+  sa_out_rr_ = (sa_out_rr_ + 1) % static_cast<int>(n_ports_);
+}
+
+void Router::revoke_blocked_heads() {
+  for (std::size_t p = 0; p < n_ports_; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      InputVc& iv = in_[p][v];
+      if (iv.state != VcState::kActive || iv.out_is_ejection) continue;
+      if (iv.flits_sent > 0) continue;  // header already left: must stay
+      if (iv.buf.empty() || iv.buf.front().ready_time > now_) continue;
+      OutputVc& ov = out_[iv.out_port][iv.out_vc];
+      if (ov.credits > 0) continue;  // not blocked, just lost arbitration
+      // Header is blocked with zero progress: release the allocation so the
+      // next VA round can try other minimal ports or the escape VC. This
+      // must count toward the escape threshold, otherwise a header cycling
+      // through allocate/revoke on credit-starved VCs would never become
+      // eligible for the escape network.
+      ov.owner = -1;
+      iv.out_port = -1;
+      iv.out_vc = -1;
+      iv.escape = false;
+      iv.state = VcState::kNeedsVc;
+      ++iv.blocked_cycles;
+    }
+  }
+}
+
+std::size_t Router::buffered_flits() const {
+  std::size_t total = 0;
+  for (const auto& port : in_) {
+    for (const auto& vc : port) total += vc.buf.size();
+  }
+  return total;
+}
+
+bool Router::invariants_ok(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = "router " + std::to_string(id_) + ": " + msg;
+    return false;
+  };
+  for (std::size_t p = 0; p < n_ports_; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      const InputVc& iv = in_[p][v];
+      if (iv.buf.size() > static_cast<std::size_t>(cfg_.buffer_depth)) {
+        return fail("input buffer overflow");
+      }
+      if (iv.state == VcState::kIdle && !iv.buf.empty() &&
+          !iv.buf.front().head) {
+        return fail("idle VC with non-head front flit");
+      }
+      if (iv.state == VcState::kActive && !iv.out_is_ejection) {
+        if (iv.out_port < 0 || iv.out_vc < 0) return fail("active without VC");
+        const OutputVc& ov = out_[iv.out_port][iv.out_vc];
+        if (ov.owner != flat(p, v)) return fail("ownership mismatch");
+      }
+    }
+    if (p < n_network_ports_) {
+      for (int v = 0; v < cfg_.vcs; ++v) {
+        if (out_[p][v].credits < 0 || out_[p][v].credits > cfg_.buffer_depth) {
+          return fail("credit out of range");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hm::noc

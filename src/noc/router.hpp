@@ -1,0 +1,120 @@
+// Input-queued virtual-channel router with credit-based wormhole flow
+// control, modelled after BookSim2's router (paper Sec. VI-A: 3-cycle router
+// latency, 8 VCs, 8-flit buffers).
+//
+// Pipeline per packet: route computation (RC) when the head flit reaches the
+// buffer front, VC allocation (VA) of an output VC, then per-flit switch
+// allocation (SA) and traversal. Heads prefer minimal adaptive VCs (1..V-1)
+// and fall back to the up*/down* escape VC 0; a head that holds an output VC
+// with zero credits and has not yet sent any flit releases it and re-enters
+// VA, so a blocked packet can always reach the deadlock-free escape network
+// (Duato's protocol, conservative stay-on-escape variant).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "noc/channel.hpp"
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+#include "noc/rng.hpp"
+
+namespace hm::noc {
+
+/// One router; ports 0..deg-1 connect to neighbour routers (in the order of
+/// graph.neighbors(id)), ports deg..deg+E-1 connect to the local endpoints.
+class Router {
+ public:
+  /// `tables` must outlive the router.
+  Router(std::uint32_t id, const SimConfig& cfg, const RoutingTables* tables);
+
+  /// Wires output port `port`: flits sent there arrive after `latency`.
+  void wire_output(std::size_t port, FlitChannel* channel, int latency);
+
+  /// Wires the credit return path of input port `port` (credits for freed
+  /// buffer slots are sent there after `latency`).
+  void wire_credit_return(std::size_t port, CreditChannel* channel,
+                          int latency);
+
+  /// Delivers a flit into input port `port`, VC `f.vc`.
+  void receive_flit(std::size_t port, Flit f, Cycle now);
+
+  /// Delivers a credit for output port `port`, VC `vc`.
+  void receive_credit(std::size_t port, int vc);
+
+  /// One cycle: RC, VA, SA (+ escape-fallback revocation).
+  void step(Cycle now, Rng& rng);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t network_ports() const noexcept {
+    return n_network_ports_;
+  }
+  [[nodiscard]] std::size_t total_ports() const noexcept { return n_ports_; }
+
+  /// Total flits currently buffered (for conservation checks).
+  [[nodiscard]] std::size_t buffered_flits() const;
+
+  /// Validates internal invariants (buffer bounds, credit bounds, ownership
+  /// consistency). Returns false and fills `why` on violation.
+  [[nodiscard]] bool invariants_ok(std::string* why = nullptr) const;
+
+ private:
+  enum class VcState : std::uint8_t { kIdle, kNeedsVc, kActive };
+
+  struct InputVc {
+    std::deque<Flit> buf;
+    VcState state = VcState::kIdle;
+    int out_port = -1;
+    int out_vc = -1;
+    bool out_is_ejection = false;
+    bool escape = false;          ///< current packet leaves via escape VC
+    std::uint8_t next_phase = 0;  ///< up*/down* phase after the escape hop
+    int flits_sent = 0;           ///< flits of the current packet sent on
+    int blocked_cycles = 0;       ///< VA failures since the header arrived
+  };
+
+  struct OutputVc {
+    int credits = 0;
+    int owner = -1;  ///< flat input-VC index holding this VC, or -1
+  };
+
+  [[nodiscard]] int flat(std::size_t port, int vc) const {
+    return static_cast<int>(port) * cfg_.vcs + vc;
+  }
+  [[nodiscard]] InputVc& in_vc(int flat_idx) {
+    return in_[static_cast<std::size_t>(flat_idx) /
+               static_cast<std::size_t>(cfg_.vcs)]
+              [static_cast<std::size_t>(flat_idx) %
+               static_cast<std::size_t>(cfg_.vcs)];
+  }
+
+  void route_compute(InputVc& iv);
+  bool try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng);
+  void switch_allocate(Cycle now);
+  void revoke_blocked_heads();
+
+  std::uint32_t id_;
+  SimConfig cfg_;
+  const RoutingTables* tables_;
+  std::size_t n_network_ports_;
+  std::size_t n_ports_;
+
+  std::vector<std::vector<InputVc>> in_;    ///< [port][vc]
+  std::vector<std::vector<OutputVc>> out_;  ///< [port][vc]
+  std::vector<FlitChannel*> out_channel_;
+  std::vector<int> out_latency_;
+  std::vector<CreditChannel*> credit_channel_;
+  std::vector<int> credit_latency_;
+
+  // Round-robin pointers for fair allocation.
+  int va_rr_ = 0;
+  int sa_out_rr_ = 0;
+  std::vector<int> sa_in_rr_;  ///< per output port, over flat input-VC ids
+
+  Cycle now_ = 0;  ///< updated by step(); used for SA readiness checks
+};
+
+}  // namespace hm::noc

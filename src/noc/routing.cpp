@@ -1,0 +1,161 @@
+#include "noc/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace hm::noc {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+/// Key used to orient edges for up*/down*: ascending (depth, id); an edge
+/// goes "up" toward the endpoint with the smaller key.
+struct UdKey {
+  int depth;
+  graph::NodeId id;
+  [[nodiscard]] bool less_than(const UdKey& o) const {
+    return depth != o.depth ? depth < o.depth : id < o.id;
+  }
+};
+
+}  // namespace
+
+RoutingTables::RoutingTables(const graph::Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n == 0) {
+    throw std::invalid_argument("RoutingTables: empty graph");
+  }
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("RoutingTables: graph must be connected");
+  }
+  if (g.max_degree() > 255) {
+    throw std::invalid_argument("RoutingTables: degree must be <= 255");
+  }
+
+  degree_.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) degree_[v] = g.degree(v);
+
+  // --- All-pairs distances and minimal next-hop ports ----------------------
+  dist_ = graph::all_pairs_distances(g);
+  min_ports_.assign(n, {});
+  for (graph::NodeId cur = 0; cur < n; ++cur) {
+    min_ports_[cur].assign(n, {});
+    const auto nbrs = g.neighbors(cur);
+    for (graph::NodeId dst = 0; dst < n; ++dst) {
+      if (dst == cur) continue;
+      auto& ports = min_ports_[cur][dst];
+      for (std::size_t p = 0; p < nbrs.size(); ++p) {
+        if (dist_[nbrs[p]][dst] == dist_[cur][dst] - 1) {
+          ports.push_back(static_cast<std::uint8_t>(p));
+        }
+      }
+    }
+  }
+
+  // --- Escape network: BFS tree from a center, up*/down* orientation -------
+  int best_ecc = kInf;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    int ecc = 0;
+    for (graph::NodeId u = 0; u < n; ++u) ecc = std::max(ecc, dist_[v][u]);
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      root_ = v;
+    }
+  }
+
+  std::vector<UdKey> key(n);
+  for (graph::NodeId v = 0; v < n; ++v) key[v] = {dist_[root_][v], v};
+
+  // up(u, p): does the edge from u through port p go "up"?
+  auto goes_up = [&](graph::NodeId u, graph::NodeId w) {
+    return key[w].less_than(key[u]);
+  };
+
+  // State graph: state (v, phase). Forward transitions:
+  //   (u, 0) -up-> (w, 0), (u, 0) -down-> (w, 1), (u, 1) -down-> (w, 1).
+  // For each destination, run a backward BFS from {(dst,0), (dst,1)} over
+  // reversed transitions and record the forward next hop per state.
+  for (int phase = 0; phase < 2; ++phase) {
+    escape_[phase].assign(n, std::vector<EscapeHop>(n));
+  }
+  std::vector<int> sdist(2 * n);
+  auto sidx = [n](graph::NodeId v, int phase) {
+    return static_cast<std::size_t>(phase) * n + v;
+  };
+
+  for (graph::NodeId dst = 0; dst < n; ++dst) {
+    std::fill(sdist.begin(), sdist.end(), kInf);
+    std::queue<std::pair<graph::NodeId, int>> frontier;
+    sdist[sidx(dst, 0)] = 0;
+    sdist[sidx(dst, 1)] = 0;
+    frontier.emplace(dst, 0);
+    frontier.emplace(dst, 1);
+    while (!frontier.empty()) {
+      const auto [v, phase] = frontier.front();
+      frontier.pop();
+      const int d = sdist[sidx(v, phase)];
+      // Find predecessors (u, pu) with a forward transition into (v, phase).
+      for (graph::NodeId u : g.neighbors(v)) {
+        const bool up_uv = goes_up(u, v);
+        // (u,0) -> (v,0) requires up; (u,0) -> (v,1) and (u,1) -> (v,1)
+        // require down.
+        if (phase == 0) {
+          if (up_uv && sdist[sidx(u, 0)] == kInf) {
+            sdist[sidx(u, 0)] = d + 1;
+            frontier.emplace(u, 0);
+          }
+        } else {
+          if (!up_uv) {
+            for (int pu = 0; pu < 2; ++pu) {
+              if (sdist[sidx(u, pu)] == kInf) {
+                sdist[sidx(u, pu)] = d + 1;
+                frontier.emplace(u, pu);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Forward next hops: from (u, phase), pick the transition that decreases
+    // the state distance (smallest port for determinism).
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (u == dst) continue;
+      const auto nbrs = g.neighbors(u);
+      for (int phase = 0; phase < 2; ++phase) {
+        const int d = sdist[sidx(u, phase)];
+        if (d == kInf) continue;  // unreachable state; never queried
+        EscapeHop hop{};
+        bool found = false;
+        for (std::size_t p = 0; p < nbrs.size() && !found; ++p) {
+          const graph::NodeId w = nbrs[p];
+          const bool up_uw = goes_up(u, w);
+          if (phase == 0 && up_uw) {
+            if (w == dst || sdist[sidx(w, 0)] == d - 1) {
+              hop = {static_cast<std::uint8_t>(p), 0};
+              found = true;
+            }
+          }
+          if (!up_uw) {  // down transition, allowed from either phase
+            if (w == dst || sdist[sidx(w, 1)] == d - 1) {
+              hop = {static_cast<std::uint8_t>(p), 1};
+              found = true;
+            }
+          }
+        }
+        if (!found) {
+          throw std::logic_error(
+              "RoutingTables: inconsistent up*/down* state graph");
+        }
+        escape_[phase][u][dst] = hop;
+      }
+    }
+  }
+}
+
+}  // namespace hm::noc

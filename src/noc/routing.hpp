@@ -1,0 +1,73 @@
+// Routing tables for arbitrary (connected) chiplet topologies.
+//
+// Two coordinated routing functions are precomputed from the arrangement
+// graph (BookSim2's "anynet" equivalent, hardened for saturation runs):
+//  * minimal routing: for every (current, destination) pair, the set of
+//    output ports lying on some shortest path — used by the adaptive VCs;
+//  * up*/down* escape routing: a BFS tree is rooted at a graph center; a
+//    legal path takes "up" hops (toward smaller (depth, id) keys) before
+//    "down" hops. The escape next hop is precomputed per (node, phase,
+//    destination) over the 2N-state phase graph, which makes the escape
+//    network provably deadlock-free (acyclic channel ordering) while still
+//    using the shortest legal path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hm::noc {
+
+/// One escape-routing hop: the output port to take and the up*/down* phase
+/// the packet carries afterwards.
+struct EscapeHop {
+  std::uint8_t port = 0;        ///< index into graph.neighbors(current)
+  std::uint8_t next_phase = 0;  ///< 0 = still ascending, 1 = descending
+};
+
+/// Precomputed routing tables for a fixed topology.
+class RoutingTables {
+ public:
+  /// Builds tables for `g`, which must be connected with >= 1 vertex and
+  /// degree <= 255 (std::invalid_argument otherwise).
+  explicit RoutingTables(const graph::Graph& g);
+
+  /// Hop distance between routers.
+  [[nodiscard]] int distance(graph::NodeId u, graph::NodeId v) const {
+    return dist_[u][v];
+  }
+
+  /// Output ports (indices into neighbors(cur)) on shortest paths cur->dst.
+  /// Empty iff cur == dst.
+  [[nodiscard]] const std::vector<std::uint8_t>& minimal_ports(
+      graph::NodeId cur, graph::NodeId dst) const {
+    return min_ports_[cur][dst];
+  }
+
+  /// Escape next hop from `cur` toward `dst` given the packet's current
+  /// up*/down* phase. Precondition: cur != dst and the state is reachable
+  /// (guaranteed when phases are only advanced through this table).
+  [[nodiscard]] EscapeHop escape_hop(graph::NodeId cur, graph::NodeId dst,
+                                     std::uint8_t phase) const {
+    return escape_[phase][cur][dst];
+  }
+
+  /// Root of the up*/down* tree (a graph center).
+  [[nodiscard]] graph::NodeId escape_root() const noexcept { return root_; }
+
+  /// Number of network ports of router `v` (== its degree).
+  [[nodiscard]] std::size_t num_ports(graph::NodeId v) const {
+    return degree_[v];
+  }
+
+ private:
+  graph::NodeId root_ = 0;
+  std::vector<std::size_t> degree_;
+  std::vector<std::vector<int>> dist_;
+  std::vector<std::vector<std::vector<std::uint8_t>>> min_ports_;
+  /// escape_[phase][cur][dst]
+  std::vector<std::vector<EscapeHop>> escape_[2];
+};
+
+}  // namespace hm::noc

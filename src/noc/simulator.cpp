@@ -1,0 +1,173 @@
+#include "noc/simulator.hpp"
+
+#include <algorithm>
+
+namespace hm::noc {
+
+Simulator::Simulator(const graph::Graph& g, const SimConfig& cfg)
+    : cfg_(cfg), net_(g, cfg), rng_(cfg.seed) {}
+
+void Simulator::tick(SyntheticTraffic& traffic) {
+  const std::size_t n_eps = net_.num_endpoints();
+  for (std::size_t e = 0; e < n_eps; ++e) {
+    auto packet =
+        traffic.maybe_generate(static_cast<std::uint16_t>(e), now_, rng_);
+    if (packet.has_value()) {
+      // A full source queue throttles the offered load (the generated packet
+      // is dropped at the source, exactly like BookSim's finite source
+      // queues under saturation).
+      if (net_.endpoint(e).try_enqueue(*packet)) {
+        ++packets_admitted_;
+      } else {
+        ++packets_dropped_;
+      }
+    }
+  }
+  net_.step(now_, rng_);
+  ++now_;
+}
+
+LatencyResult Simulator::run_latency(double flit_rate, Cycle warmup,
+                                     Cycle measure, Cycle drain_limit) {
+  SyntheticTraffic traffic(traffic_spec_, net_.num_endpoints(), flit_rate,
+                           cfg_.packet_length);
+  const Cycle window_begin = now_ + warmup;
+  const Cycle window_end = window_begin + measure;
+  for (std::size_t e = 0; e < net_.num_endpoints(); ++e) {
+    net_.endpoint(e).set_measurement_window(window_begin, window_end);
+  }
+
+  // Count tagged packets at generation time (enqueue success) so the drain
+  // condition is exact.
+  std::uint64_t tagged_generated = 0;
+  {
+    // Warmup + measurement window.
+    while (now_ < window_end) {
+      const bool in_window = now_ >= window_begin;
+      const std::size_t n_eps = net_.num_endpoints();
+      for (std::size_t e = 0; e < n_eps; ++e) {
+        auto packet =
+            traffic.maybe_generate(static_cast<std::uint16_t>(e), now_, rng_);
+        if (!packet.has_value()) continue;
+        if (net_.endpoint(e).try_enqueue(*packet)) {
+          ++packets_admitted_;
+          if (in_window) ++tagged_generated;
+        } else {
+          ++packets_dropped_;
+        }
+      }
+      net_.step(now_, rng_);
+      ++now_;
+    }
+  }
+
+  auto tagged_delivered = [this] {
+    std::uint64_t total = 0;
+    for (std::size_t e = 0; e < net_.num_endpoints(); ++e) {
+      total += net_.endpoint(e).sink().tagged_packets;
+    }
+    return total;
+  };
+
+  // Drain phase: keep offering traffic (BookSim semantics) until every
+  // tagged packet is delivered.
+  const Cycle drain_end = window_end + drain_limit;
+  while (tagged_delivered() < tagged_generated && now_ < drain_end) {
+    tick(traffic);
+  }
+
+  LatencyResult result;
+  result.packets_measured = tagged_delivered();
+  result.drained = result.packets_measured == tagged_generated;
+  std::uint64_t latency_sum = 0;
+  for (std::size_t e = 0; e < net_.num_endpoints(); ++e) {
+    latency_sum += net_.endpoint(e).sink().tagged_latency_sum;
+  }
+  result.avg_packet_latency =
+      result.packets_measured == 0
+          ? 0.0
+          : static_cast<double>(latency_sum) /
+                static_cast<double>(result.packets_measured);
+  return result;
+}
+
+ThroughputResult Simulator::run_throughput(double flit_rate, Cycle warmup,
+                                           Cycle measure) {
+  SyntheticTraffic traffic(traffic_spec_, net_.num_endpoints(), flit_rate,
+                           cfg_.packet_length);
+  const Cycle measure_begin = now_ + warmup;
+  const Cycle measure_end = measure_begin + measure;
+  while (now_ < measure_begin) tick(traffic);
+
+  const std::uint64_t ejected_before = net_.total_flits_ejected();
+  const std::uint64_t admitted_before = packets_admitted_;
+  const std::uint64_t dropped_before = packets_dropped_;
+  while (now_ < measure_end) tick(traffic);
+  const std::uint64_t ejected_after = net_.total_flits_ejected();
+
+  ThroughputResult result;
+  result.offered_flit_rate = flit_rate;
+  const double window_endpoints =
+      static_cast<double>(measure) * static_cast<double>(net_.num_endpoints());
+  result.accepted_flit_rate =
+      static_cast<double>(ejected_after - ejected_before) / window_endpoints;
+  result.generated_flit_rate =
+      static_cast<double>((packets_admitted_ - admitted_before) *
+                          static_cast<std::uint64_t>(cfg_.packet_length)) /
+      window_endpoints;
+  result.dropped_packets = packets_dropped_ - dropped_before;
+  return result;
+}
+
+SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
+                                 const SaturationSearchOptions& opts,
+                                 const TrafficSpec& traffic) {
+  SaturationResult result;
+  auto probe = [&](double rate) {
+    Simulator sim(g, cfg);  // fresh network per probe
+    sim.set_traffic(traffic);
+    ++result.probes;
+    return sim.run_throughput(rate, opts.warmup, opts.measure);
+  };
+  // Stable = the source queues never overflowed during the measurement
+  // window (the knee indicator) and the ejected rate keeps up with the
+  // offered rate (guards against slowly-filling in-network congestion).
+  auto stable = [&](const ThroughputResult& r) {
+    return r.dropped_packets == 0 &&
+           r.accepted_flit_rate >= opts.stability * r.offered_flit_rate;
+  };
+
+  // Full-rate probe first: if the network keeps up with offered = 1.0 it is
+  // injection-limited, not network-limited.
+  {
+    const auto full = probe(1.0);
+    if (stable(full)) {
+      result.saturation_flit_rate = 1.0;
+      result.accepted_flit_rate = full.accepted_flit_rate;
+      return result;
+    }
+  }
+
+  double lo = 0.0;  // known stable
+  double hi = 1.0;  // known unstable
+  double accepted_at_lo = 0.0;
+  for (int i = 0; i < opts.iterations; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    const auto r = probe(mid);
+    if (stable(r)) {
+      lo = mid;
+      accepted_at_lo = r.accepted_flit_rate;
+    } else {
+      hi = mid;
+    }
+  }
+  result.saturation_flit_rate = lo;
+  // If the search never found a stable point above 0 (pathological), report
+  // the accepted rate of the lowest unstable probe as a best effort.
+  result.accepted_flit_rate =
+      lo > 0.0 ? accepted_at_lo
+               : std::min(probe(hi).accepted_flit_rate, hi);
+  return result;
+}
+
+}  // namespace hm::noc

@@ -1,0 +1,109 @@
+// Simulation driver replicating BookSim2's measurement methodology
+// (Sec. VI-A): warm the network up, tag packets generated during a
+// measurement window, then drain; report average packet latency and
+// accepted throughput. Saturation throughput is located with a binary
+// search for the knee of the accepted-vs-offered curve (find_saturation);
+// the resulting fraction of the full injection rate is what the paper
+// multiplies by the full global bandwidth to obtain Tb/s.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "noc/config.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+
+namespace hm::noc {
+
+/// Result of a latency measurement run.
+struct LatencyResult {
+  double avg_packet_latency = 0.0;  ///< cycles, generation -> tail ejection
+  std::uint64_t packets_measured = 0;
+  bool drained = false;  ///< all tagged packets delivered before the limit
+};
+
+/// Result of a throughput measurement run.
+struct ThroughputResult {
+  double offered_flit_rate = 0.0;    ///< nominal flits/cycle/endpoint
+  double accepted_flit_rate = 0.0;   ///< flits/cycle/endpoint ejected
+  /// Flit rate actually admitted into the source queues during the window
+  /// (drops excluded); tracks the nominal rate below saturation.
+  double generated_flit_rate = 0.0;
+  /// Packets dropped at full source queues during the measurement window —
+  /// the reliable saturation indicator (zero below the knee).
+  std::uint64_t dropped_packets = 0;
+};
+
+/// Options for the saturation-point search.
+struct SaturationSearchOptions {
+  /// A probe at offered rate r is "stable" when no packet was dropped at a
+  /// full source queue during the measurement window AND accepted >=
+  /// stability * r (the latter guards against in-network congestion with
+  /// queues that have not filled yet).
+  double stability = 0.9;
+  /// Binary-search iterations after the initial full-rate probe
+  /// (resolution = 2^-iterations in offered rate).
+  int iterations = 6;
+  Cycle warmup = 4000;
+  Cycle measure = 4000;
+};
+
+/// Result of the saturation-point search.
+struct SaturationResult {
+  /// Largest offered rate (flits/cycle/endpoint) the network sustains.
+  double saturation_flit_rate = 0.0;
+  /// Accepted rate measured at that offered rate.
+  double accepted_flit_rate = 0.0;
+  /// Number of simulation probes run.
+  int probes = 0;
+};
+
+/// Finds the saturation throughput the way BookSim-based studies do
+/// (Sec. VI-A): sweep the offered load for the knee of the accepted-vs-
+/// offered curve via binary search, running each probe on a fresh network.
+/// Overdriving a fully adaptive network far beyond saturation only measures
+/// the escape network's drain rate, not the design's usable throughput.
+[[nodiscard]] SaturationResult find_saturation(
+    const graph::Graph& g, const SimConfig& cfg,
+    const SaturationSearchOptions& opts = {},
+    const TrafficSpec& traffic = {});
+
+/// Owns a Network plus RNG/traffic state and runs measurement phases.
+class Simulator {
+ public:
+  Simulator(const graph::Graph& g, const SimConfig& cfg);
+
+  /// Selects the traffic pattern for subsequent runs (default: uniform
+  /// random, the paper's setup).
+  void set_traffic(const TrafficSpec& spec) { traffic_spec_ = spec; }
+
+  /// Average packet latency at the given injection rate (flits/cycle/
+  /// endpoint). Tags packets generated in [warmup, warmup+measure) and runs
+  /// until they all drain (or `drain_limit` extra cycles pass).
+  LatencyResult run_latency(double flit_rate, Cycle warmup = 3000,
+                            Cycle measure = 12000,
+                            Cycle drain_limit = 300000);
+
+  /// Accepted throughput at the given offered rate over a measurement
+  /// window following warmup. Offer 1.0 to measure saturation throughput.
+  ThroughputResult run_throughput(double flit_rate, Cycle warmup = 10000,
+                                  Cycle measure = 10000);
+
+  [[nodiscard]] Network& network() noexcept { return net_; }
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+ private:
+  /// Advances one cycle: traffic generation, then network step.
+  void tick(SyntheticTraffic& traffic);
+
+  SimConfig cfg_;
+  Network net_;
+  Rng rng_;
+  TrafficSpec traffic_spec_;
+  Cycle now_ = 0;
+  std::uint64_t packets_admitted_ = 0;  ///< enqueue successes (lifetime)
+  std::uint64_t packets_dropped_ = 0;   ///< enqueue failures (lifetime)
+};
+
+}  // namespace hm::noc

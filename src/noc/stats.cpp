@@ -1,0 +1,56 @@
+#include "noc/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hm::noc {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double Accumulator::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    throw std::invalid_argument("percentile: empty input");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  }
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty input");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("geomean: empty input");
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument("geomean: values must be positive");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace hm::noc

@@ -1,0 +1,35 @@
+// Small statistics helpers for simulation results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hm::noc {
+
+/// Online mean/min/max accumulator.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0 <= p <= 100) via nearest-rank on a copy of `values`.
+/// Throws std::invalid_argument for empty input or p out of range.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; throws std::invalid_argument for empty input.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// Geometric mean of positive values; throws on empty/non-positive input.
+[[nodiscard]] double geomean(const std::vector<double>& values);
+
+}  // namespace hm::noc

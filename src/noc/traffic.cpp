@@ -1,0 +1,149 @@
+#include "noc/traffic.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hm::noc {
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform: return "uniform";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kBitComplement: return "bit-complement";
+    case TrafficPattern::kPermutation: return "permutation";
+  }
+  return "?";
+}
+
+UniformRandomTraffic::UniformRandomTraffic(std::size_t num_endpoints,
+                                           double flit_rate,
+                                           int packet_length)
+    : num_endpoints_(num_endpoints),
+      flit_rate_(flit_rate),
+      packet_length_(packet_length),
+      packet_rate_(flit_rate / packet_length) {
+  if (num_endpoints < 2) {
+    throw std::invalid_argument(
+        "UniformRandomTraffic: need >= 2 endpoints for non-self traffic");
+  }
+  if (flit_rate < 0.0 || flit_rate > 1.0) {
+    throw std::invalid_argument(
+        "UniformRandomTraffic: flit_rate must be in [0, 1]");
+  }
+  if (packet_length < 1) {
+    throw std::invalid_argument(
+        "UniformRandomTraffic: packet_length must be >= 1");
+  }
+}
+
+std::optional<Packet> UniformRandomTraffic::maybe_generate(std::uint16_t src,
+                                                           Cycle now,
+                                                           Rng& rng) {
+  if (!rng.bernoulli(packet_rate_)) return std::nullopt;
+  // Uniform destination among the other endpoints.
+  auto dst = static_cast<std::uint16_t>(rng.uniform_int(num_endpoints_ - 1));
+  if (dst >= src) ++dst;
+  Packet p;
+  p.id = next_id_++;
+  p.src_endpoint = src;
+  p.dst_endpoint = dst;
+  p.length = static_cast<std::uint16_t>(packet_length_);
+  p.gen_time = now;
+  return p;
+}
+
+SyntheticTraffic::SyntheticTraffic(TrafficSpec spec,
+                                   std::size_t num_endpoints,
+                                   double flit_rate, int packet_length)
+    : spec_(std::move(spec)),
+      num_endpoints_(num_endpoints),
+      packet_rate_(flit_rate / packet_length),
+      packet_length_(packet_length) {
+  if (num_endpoints < 2) {
+    throw std::invalid_argument("SyntheticTraffic: need >= 2 endpoints");
+  }
+  if (flit_rate < 0.0 || flit_rate > 1.0) {
+    throw std::invalid_argument(
+        "SyntheticTraffic: flit_rate must be in [0, 1]");
+  }
+  if (packet_length < 1) {
+    throw std::invalid_argument(
+        "SyntheticTraffic: packet_length must be >= 1");
+  }
+  if (spec_.pattern == TrafficPattern::kHotspot) {
+    if (spec_.hotspot_fraction < 0.0 || spec_.hotspot_fraction > 1.0) {
+      throw std::invalid_argument(
+          "SyntheticTraffic: hotspot_fraction must be in [0, 1]");
+    }
+    if (spec_.hotspots.empty()) {
+      spec_.hotspots.push_back(0);
+    }
+    for (std::uint16_t h : spec_.hotspots) {
+      if (h >= num_endpoints_) {
+        throw std::invalid_argument(
+            "SyntheticTraffic: hotspot endpoint out of range");
+      }
+    }
+  }
+  if (spec_.pattern == TrafficPattern::kPermutation) {
+    permutation_.resize(num_endpoints_);
+    std::iota(permutation_.begin(), permutation_.end(), 0);
+    // Fisher-Yates with the library RNG so the permutation is platform-
+    // independent and fully determined by permutation_seed.
+    Rng rng(spec_.permutation_seed);
+    for (std::size_t i = num_endpoints_ - 1; i > 0; --i) {
+      const std::size_t j = rng.uniform_int(i + 1);
+      std::swap(permutation_[i], permutation_[j]);
+    }
+  }
+}
+
+std::uint16_t SyntheticTraffic::permutation_target(std::uint16_t src) const {
+  if (spec_.pattern == TrafficPattern::kPermutation) {
+    return permutation_[src];
+  }
+  if (spec_.pattern == TrafficPattern::kBitComplement) {
+    return static_cast<std::uint16_t>(num_endpoints_ - 1 - src);
+  }
+  throw std::logic_error(
+      "permutation_target: pattern has no fixed destination");
+}
+
+std::optional<Packet> SyntheticTraffic::maybe_generate(std::uint16_t src,
+                                                       Cycle now, Rng& rng) {
+  if (!rng.bernoulli(packet_rate_)) return std::nullopt;
+
+  std::uint16_t dst = src;
+  switch (spec_.pattern) {
+    case TrafficPattern::kUniform: {
+      dst = static_cast<std::uint16_t>(rng.uniform_int(num_endpoints_ - 1));
+      if (dst >= src) ++dst;
+      break;
+    }
+    case TrafficPattern::kHotspot: {
+      if (rng.bernoulli(spec_.hotspot_fraction)) {
+        dst = spec_.hotspots[rng.uniform_int(spec_.hotspots.size())];
+      } else {
+        dst = static_cast<std::uint16_t>(rng.uniform_int(num_endpoints_ - 1));
+        if (dst >= src) ++dst;
+      }
+      break;
+    }
+    case TrafficPattern::kBitComplement:
+    case TrafficPattern::kPermutation:
+      dst = permutation_target(src);
+      break;
+  }
+  if (dst == src) return std::nullopt;  // self-traffic carries no ICI load
+
+  Packet p;
+  p.id = next_id_++;
+  p.src_endpoint = src;
+  p.dst_endpoint = dst;
+  p.length = static_cast<std::uint16_t>(packet_length_);
+  p.gen_time = now;
+  return p;
+}
+
+}  // namespace hm::noc

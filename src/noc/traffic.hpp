@@ -1,0 +1,98 @@
+// Traffic generation. The paper's evaluation uses uniform random traffic:
+// each endpoint injects flits at a configurable rate (flits/cycle/endpoint);
+// destinations are drawn uniformly among all other endpoints. The synthetic
+// generator additionally provides the classic BookSim-style patterns
+// (hotspot, bit-complement, random permutation) used by the traffic-pattern
+// ablation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "noc/rng.hpp"
+
+namespace hm::noc {
+
+/// Destination selection pattern.
+enum class TrafficPattern {
+  kUniform,        ///< uniform over all other endpoints (the paper's setup)
+  kHotspot,        ///< fraction of packets targets a fixed hotspot set
+  kBitComplement,  ///< endpoint e always sends to (E-1-e)
+  kPermutation,    ///< fixed random permutation of endpoints
+};
+
+/// Short name, e.g. "uniform", "hotspot".
+[[nodiscard]] const char* to_string(TrafficPattern p);
+
+/// Pattern configuration for SyntheticTraffic.
+struct TrafficSpec {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// kHotspot: probability a packet targets the hotspot set.
+  double hotspot_fraction = 0.2;
+  /// kHotspot: hotspot endpoints; defaults to {0} when empty.
+  std::vector<std::uint16_t> hotspots;
+  /// kPermutation: seed of the fixed permutation.
+  unsigned long long permutation_seed = 1;
+};
+
+/// Bernoulli packet source with uniformly random destinations.
+class UniformRandomTraffic {
+ public:
+  /// `flit_rate` is the offered load in flits/cycle/endpoint in [0, 1];
+  /// packets of `packet_length` flits are generated with probability
+  /// flit_rate / packet_length per endpoint per cycle.
+  UniformRandomTraffic(std::size_t num_endpoints, double flit_rate,
+                       int packet_length);
+
+  /// Rolls the Bernoulli die for endpoint `src` at cycle `now`.
+  [[nodiscard]] std::optional<Packet> maybe_generate(std::uint16_t src,
+                                                     Cycle now, Rng& rng);
+
+  [[nodiscard]] double flit_rate() const noexcept { return flit_rate_; }
+  [[nodiscard]] std::uint64_t packets_generated() const noexcept {
+    return next_id_;
+  }
+
+ private:
+  std::size_t num_endpoints_;
+  double flit_rate_;
+  int packet_length_;
+  double packet_rate_;
+  std::uint32_t next_id_ = 0;
+};
+
+/// Bernoulli packet source with configurable destination pattern. Behaves
+/// exactly like UniformRandomTraffic for TrafficPattern::kUniform.
+class SyntheticTraffic {
+ public:
+  /// Same rate semantics as UniformRandomTraffic. Throws
+  /// std::invalid_argument for out-of-range rates, < 2 endpoints, hotspot
+  /// endpoints out of range or hotspot_fraction outside [0, 1].
+  SyntheticTraffic(TrafficSpec spec, std::size_t num_endpoints,
+                   double flit_rate, int packet_length);
+
+  /// Rolls the Bernoulli die for endpoint `src` at cycle `now`. Returns
+  /// nothing when the pattern maps `src` to itself (e.g. a hotspot endpoint
+  /// drawing itself, or a permutation fixed point).
+  [[nodiscard]] std::optional<Packet> maybe_generate(std::uint16_t src,
+                                                     Cycle now, Rng& rng);
+
+  [[nodiscard]] const TrafficSpec& spec() const noexcept { return spec_; }
+
+  /// Destination endpoint `src` would target (for deterministic patterns;
+  /// kUniform/kHotspot draw per packet and return the first draw's rules:
+  /// exposed for tests via pattern-specific behaviour).
+  [[nodiscard]] std::uint16_t permutation_target(std::uint16_t src) const;
+
+ private:
+  TrafficSpec spec_;
+  std::size_t num_endpoints_;
+  double packet_rate_;
+  int packet_length_;
+  std::vector<std::uint16_t> permutation_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace hm::noc

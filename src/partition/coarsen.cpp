@@ -1,0 +1,75 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace hm::partition::detail {
+
+CoarseLevel coarsen_once(const WeightedGraph& g, std::mt19937& rng,
+                         int max_node_weight) {
+  const std::size_t n = g.n();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  constexpr std::uint32_t kUnmatched = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> match(n, kUnmatched);
+
+  for (std::uint32_t v : order) {
+    if (match[v] != kUnmatched) continue;
+    std::uint32_t best = kUnmatched;
+    int best_w = -1;
+    for (const auto& [u, w] : g.adj[v]) {
+      if (match[u] != kUnmatched) continue;
+      if (g.node_weight[v] + g.node_weight[u] > max_node_weight) continue;
+      if (w > best_w || (w == best_w && (best == kUnmatched || u < best))) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best != kUnmatched) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays a singleton
+    }
+  }
+
+  CoarseLevel level;
+  level.map.assign(n, 0);
+  std::uint32_t next_id = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    // v is the representative of its pair (or a singleton) iff match[v] >= v.
+    if (match[v] >= v) {
+      level.map[v] = next_id;
+      if (match[v] != v) level.map[match[v]] = next_id;
+      ++next_id;
+    }
+  }
+
+  level.graph.node_weight.assign(next_id, 0);
+  level.graph.adj.resize(next_id);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    level.graph.node_weight[level.map[v]] += g.node_weight[v];
+  }
+
+  // Merge parallel edges between coarse vertices by summing weights.
+  std::vector<std::map<std::uint32_t, int>> merged(next_id);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t cv = level.map[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      const std::uint32_t cu = level.map[u];
+      if (cv < cu) merged[cv][cu] += w;
+    }
+  }
+  for (std::uint32_t cv = 0; cv < next_id; ++cv) {
+    for (const auto& [cu, w] : merged[cv]) {
+      level.graph.adj[cv].emplace_back(cu, w);
+      level.graph.adj[cu].emplace_back(cv, w);
+    }
+  }
+  return level;
+}
+
+}  // namespace hm::partition::detail

@@ -1,0 +1,29 @@
+// Heavy-edge-matching coarsening for the multilevel bisection pipeline
+// (the same scheme METIS uses): repeatedly contract a maximal matching that
+// prefers heavy edges, halving the graph size per level while preserving cut
+// structure.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "partition/wgraph.hpp"
+
+namespace hm::partition::detail {
+
+/// Result of one coarsening level.
+struct CoarseLevel {
+  WeightedGraph graph;               ///< contracted graph
+  std::vector<std::uint32_t> map;    ///< fine vertex -> coarse vertex
+};
+
+/// Contracts a heavy-edge maximal matching of `g`. Vertices are visited in a
+/// random order drawn from `rng`; each unmatched vertex is matched to its
+/// unmatched neighbour with the heaviest connecting edge (ties by smaller id).
+/// `max_node_weight` caps the merged vertex weight to keep parts balanceable.
+[[nodiscard]] CoarseLevel coarsen_once(const WeightedGraph& g,
+                                       std::mt19937& rng,
+                                       int max_node_weight);
+
+}  // namespace hm::partition::detail

@@ -1,0 +1,147 @@
+#include "partition/fm_refine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace hm::partition::detail {
+
+namespace {
+
+/// gain(v) = cut reduction if v switches sides
+/// = (weight of edges to the other side) - (weight to own side).
+long long move_gain(const WeightedGraph& g, const std::vector<int>& side,
+                    std::uint32_t v) {
+  long long gain = 0;
+  for (const auto& [u, w] : g.adj[v]) {
+    gain += (side[u] != side[v]) ? w : -w;
+  }
+  return gain;
+}
+
+}  // namespace
+
+long long fm_refine(const WeightedGraph& g, std::vector<int>& side,
+                    long long max_part_weight, int max_passes) {
+  const std::size_t n = g.n();
+  long long part_weight[2] = {0, 0};
+  for (std::uint32_t v = 0; v < n; ++v) {
+    part_weight[side[v]] += g.node_weight[v];
+  }
+  long long cut = cut_weight(g, side);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    std::vector<char> locked(n, 0);
+    std::vector<long long> gain(n);
+    for (std::uint32_t v = 0; v < n; ++v) gain[v] = move_gain(g, side, v);
+
+    // Record the move sequence so we can roll back to the best prefix.
+    std::vector<std::uint32_t> moves;
+    moves.reserve(n);
+    long long running_cut = cut;
+    long long best_cut = cut;
+    std::size_t best_prefix = 0;
+
+    for (std::size_t step = 0; step < n; ++step) {
+      // Pick the unlocked vertex with the highest gain whose move keeps the
+      // destination part within the weight cap. O(n) scan; graphs here are
+      // small (arrangements have <= a few hundred chiplets).
+      std::uint32_t best_v = static_cast<std::uint32_t>(-1);
+      long long best_gain = std::numeric_limits<long long>::min();
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (locked[v]) continue;
+        const int to = 1 - side[v];
+        if (part_weight[to] + g.node_weight[v] > max_part_weight) continue;
+        if (gain[v] > best_gain) {
+          best_gain = gain[v];
+          best_v = v;
+        }
+      }
+      if (best_v == static_cast<std::uint32_t>(-1)) break;
+
+      // Apply the move.
+      const int from = side[best_v];
+      side[best_v] = 1 - from;
+      part_weight[from] -= g.node_weight[best_v];
+      part_weight[1 - from] += g.node_weight[best_v];
+      locked[best_v] = 1;
+      running_cut -= best_gain;
+      moves.push_back(best_v);
+      for (const auto& [u, w] : g.adj[best_v]) {
+        if (locked[u]) continue;
+        // best_v switched sides: edges to u flip their contribution.
+        gain[u] += (side[u] == side[best_v]) ? -2LL * w : 2LL * w;
+      }
+
+      if (running_cut < best_cut) {
+        best_cut = running_cut;
+        best_prefix = moves.size();
+      }
+    }
+
+    // Roll back moves beyond the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const std::uint32_t v = moves[i - 1];
+      const int from = side[v];
+      side[v] = 1 - from;
+      part_weight[from] -= g.node_weight[v];
+      part_weight[1 - from] += g.node_weight[v];
+    }
+
+    if (best_cut >= cut) break;  // no improvement this pass
+    cut = best_cut;
+  }
+  return cut;
+}
+
+std::vector<int> grow_initial_partition(const WeightedGraph& g,
+                                        std::uint32_t seed_vertex,
+                                        long long max_part_weight) {
+  const std::size_t n = g.n();
+  std::vector<int> side(n, 1);
+  if (n == 0) return side;
+
+  const long long total = g.total_node_weight();
+  const long long target = total / 2;
+
+  side[seed_vertex] = 0;
+  long long grown = g.node_weight[seed_vertex];
+
+  // Frontier-based region growing: absorb the neighbour with the largest
+  // connectivity into part 0 (breaks ties by id for determinism).
+  while (grown < target) {
+    std::uint32_t best = static_cast<std::uint32_t>(-1);
+    long long best_conn = -1;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (side[v] == 0) continue;
+      if (grown + g.node_weight[v] > max_part_weight) continue;
+      long long conn = 0;
+      bool touches = false;
+      for (const auto& [u, w] : g.adj[v]) {
+        if (side[u] == 0) {
+          conn += w;
+          touches = true;
+        }
+      }
+      if (touches && conn > best_conn) {
+        best_conn = conn;
+        best = v;
+      }
+    }
+    if (best == static_cast<std::uint32_t>(-1)) {
+      // Disconnected frontier: absorb any eligible vertex to reach balance.
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (side[v] == 1 && grown + g.node_weight[v] <= max_part_weight) {
+          best = v;
+          break;
+        }
+      }
+      if (best == static_cast<std::uint32_t>(-1)) break;
+    }
+    side[best] = 0;
+    grown += g.node_weight[best];
+  }
+  return side;
+}
+
+}  // namespace hm::partition::detail

@@ -1,0 +1,51 @@
+// Balanced two-way graph partitioning — the stand-in for METIS [13], which
+// the paper uses to estimate the bisection bandwidth of semi-regular and
+// irregular arrangements (Sec. IV-D). The bisection bandwidth of an
+// arrangement equals the minimum number of D2D links that must be cut to
+// split the chip into two (nearly) equal halves.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hm::partition {
+
+/// A two-way partition of a graph.
+struct BisectionResult {
+  /// side[v] in {0, 1}: which half vertex v belongs to.
+  std::vector<int> side;
+  /// Number of edges crossing between the halves (the bisection width).
+  std::size_t cut_edges = 0;
+  /// Vertex counts of the two halves; differ by at most the allowed imbalance.
+  std::array<std::size_t, 2> part_sizes{0, 0};
+};
+
+/// Tuning knobs for the multilevel bisection.
+struct BisectionOptions {
+  /// RNG seed; identical seeds give identical results.
+  unsigned seed = 1;
+  /// Number of independent multi-start attempts; the best cut wins.
+  int num_starts = 12;
+  /// Extra vertices the larger half may hold beyond ceil(n/2).
+  /// 0 reproduces the exact-bisection definition used by the paper.
+  std::size_t extra_imbalance = 0;
+  /// Enable multilevel (coarsen/refine) search; single-level FM otherwise.
+  bool multilevel = true;
+};
+
+/// Computes a balanced bisection of `g` minimizing the edge cut.
+/// Multilevel heavy-edge-matching + FM (the METIS algorithm family). Exact
+/// on small regular arrangements in practice; always returns a feasible
+/// balanced partition. Graphs with < 2 vertices get a trivial all-zero side.
+[[nodiscard]] BisectionResult bisect(const graph::Graph& g,
+                                     const BisectionOptions& opts = {});
+
+/// Convenience wrapper returning only the cut size (the paper's estimated
+/// bisection bandwidth in links).
+[[nodiscard]] std::size_t bisection_width(const graph::Graph& g,
+                                          const BisectionOptions& opts = {});
+
+}  // namespace hm::partition

@@ -1,0 +1,55 @@
+// Internal weighted-graph representation used by the multilevel bisection
+// pipeline (coarsening merges vertices, so both vertices and edges carry
+// integer weights). Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hm::partition::detail {
+
+/// Vertex/edge-weighted undirected graph in adjacency-list form.
+struct WeightedGraph {
+  /// node_weight[v] = number of original vertices contracted into v.
+  std::vector<int> node_weight;
+  /// adj[v] = list of (neighbour, edge weight); symmetric.
+  std::vector<std::vector<std::pair<std::uint32_t, int>>> adj;
+
+  [[nodiscard]] std::size_t n() const noexcept { return adj.size(); }
+
+  [[nodiscard]] long long total_node_weight() const noexcept {
+    long long t = 0;
+    for (int w : node_weight) t += w;
+    return t;
+  }
+};
+
+/// Lifts an unweighted graph (all weights 1) into the weighted form.
+[[nodiscard]] inline WeightedGraph from_graph(const graph::Graph& g) {
+  WeightedGraph wg;
+  wg.node_weight.assign(g.node_count(), 1);
+  wg.adj.resize(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    for (graph::NodeId u : g.neighbors(v)) {
+      wg.adj[v].emplace_back(u, 1);
+    }
+  }
+  return wg;
+}
+
+/// Weighted cut of a 0/1 side assignment.
+[[nodiscard]] inline long long cut_weight(const WeightedGraph& g,
+                                          const std::vector<int>& side) {
+  long long cut = 0;
+  for (std::uint32_t v = 0; v < g.n(); ++v) {
+    for (const auto& [u, w] : g.adj[v]) {
+      if (v < u && side[v] != side[u]) cut += w;
+    }
+  }
+  return cut;
+}
+
+}  // namespace hm::partition::detail

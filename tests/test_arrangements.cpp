@@ -1,0 +1,267 @@
+// Tests for the arrangement generators: chiplet counts, regularity
+// classification, Fig. 4 neighbour statistics, and the key cross-module
+// property that the combinatorial adjacency graph equals the geometric
+// shared-edge adjacency of the generated placement.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/arrangement.hpp"
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/honeycomb.hpp"
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using hm::core::Arrangement;
+using hm::core::ArrangementType;
+using hm::core::make_arrangement;
+using hm::core::make_brickwall;
+using hm::core::make_grid;
+using hm::core::make_hexamesh;
+using hm::core::make_honeycomb;
+using hm::core::RegularityClass;
+
+// --- Grid --------------------------------------------------------------------
+
+TEST(Grid, RegularCountsAndDegrees) {
+  const auto arr = hm::core::make_grid_regular(4);
+  EXPECT_EQ(arr.chiplet_count(), 16u);
+  EXPECT_EQ(arr.graph().edge_count(), 2u * 4 * 3);  // 2*s*(s-1)
+  const auto stats = arr.neighbor_stats();
+  EXPECT_EQ(stats.min, 2u);  // Fig. 4a: min 2
+  EXPECT_EQ(stats.max, 4u);  // Fig. 4a: max 4
+}
+
+TEST(Grid, AutoClassification) {
+  EXPECT_EQ(make_grid(16).regularity(), RegularityClass::kRegular);
+  EXPECT_EQ(make_grid(12).regularity(), RegularityClass::kSemiRegular);
+  EXPECT_EQ(make_grid(13).regularity(), RegularityClass::kIrregular);
+  EXPECT_EQ(make_grid(2).regularity(), RegularityClass::kSemiRegular);
+}
+
+TEST(Grid, SemiRegularAspectBound) {
+  // 2x5 has ratio 2.5 > 2 -> irregular instead.
+  EXPECT_EQ(make_grid(10).regularity(), RegularityClass::kIrregular);
+  // 3x4 ratio 1.33 -> semi-regular.
+  EXPECT_EQ(make_grid(12).regularity(), RegularityClass::kSemiRegular);
+}
+
+TEST(Grid, ExactChipletCountForAllN) {
+  for (std::size_t n = 1; n <= 60; ++n) {
+    EXPECT_EQ(make_grid(n).chiplet_count(), n) << "n=" << n;
+  }
+}
+
+TEST(Grid, IrregularMinDegreeCanBeOne) {
+  // s^2 + 1 chiplets: the lone extra chiplet touches exactly one neighbour.
+  const auto arr = hm::core::make_grid_irregular(10);
+  EXPECT_EQ(arr.neighbor_stats().min, 1u);
+}
+
+TEST(Grid, DiameterMatchesFormulaForRegular) {
+  for (std::size_t side : {2u, 3u, 5u, 8u, 10u}) {
+    const auto arr = hm::core::make_grid_regular(side);
+    EXPECT_EQ(hm::graph::diameter(arr.graph()),
+              static_cast<int>(2 * side - 2));
+  }
+}
+
+// --- Brickwall ---------------------------------------------------------------
+
+TEST(Brickwall, RegularDegrees) {
+  const auto arr = hm::core::make_brickwall_regular(5);
+  const auto stats = arr.neighbor_stats();
+  EXPECT_EQ(stats.min, 2u);  // Fig. 4c: min 2
+  EXPECT_EQ(stats.max, 6u);  // Fig. 4c: max 6
+}
+
+TEST(Brickwall, ExactChipletCountForAllN) {
+  for (std::size_t n = 1; n <= 60; ++n) {
+    EXPECT_EQ(make_brickwall(n).chiplet_count(), n) << "n=" << n;
+  }
+}
+
+TEST(Brickwall, DiameterMatchesFormulaForRegular) {
+  // D_BW = 2 sqrt(N) - 2 - floor((sqrt(N)-1)/2).
+  for (std::size_t side : {2u, 3u, 4u, 5u, 7u, 9u}) {
+    const auto arr = hm::core::make_brickwall_regular(side);
+    const int expected = static_cast<int>(2 * side - 2 - (side - 1) / 2);
+    EXPECT_EQ(hm::graph::diameter(arr.graph()), expected) << "side=" << side;
+  }
+}
+
+TEST(Brickwall, AvgDegreeApproachesSix) {
+  const auto small = hm::core::make_brickwall_regular(3);
+  const auto big = hm::core::make_brickwall_regular(10);
+  EXPECT_GT(big.neighbor_stats().avg, small.neighbor_stats().avg);
+  EXPECT_LT(big.neighbor_stats().avg, 6.0);
+}
+
+TEST(Brickwall, MoreEdgesThanGridSameN) {
+  EXPECT_GT(make_brickwall(49).graph().edge_count(),
+            make_grid(49).graph().edge_count());
+}
+
+// --- HexaMesh ----------------------------------------------------------------
+
+TEST(Hexamesh, RingCountFormula) {
+  EXPECT_EQ(hm::core::hexamesh_chiplet_count(0), 1u);
+  EXPECT_EQ(hm::core::hexamesh_chiplet_count(1), 7u);
+  EXPECT_EQ(hm::core::hexamesh_chiplet_count(2), 19u);
+  EXPECT_EQ(hm::core::hexamesh_chiplet_count(3), 37u);
+  EXPECT_EQ(hm::core::hexamesh_chiplet_count(4), 61u);
+  EXPECT_EQ(hm::core::hexamesh_chiplet_count(5), 91u);
+}
+
+TEST(Hexamesh, RegularCountDetection) {
+  for (std::size_t n : {1u, 7u, 19u, 37u, 61u, 91u, 127u}) {
+    EXPECT_TRUE(hm::core::is_regular_hexamesh_count(n)) << n;
+  }
+  for (std::size_t n : {2u, 6u, 8u, 18u, 20u, 36u, 38u, 100u}) {
+    EXPECT_FALSE(hm::core::is_regular_hexamesh_count(n)) << n;
+  }
+}
+
+TEST(Hexamesh, RegularDegrees) {
+  const auto arr = hm::core::make_hexamesh_regular(3);
+  const auto stats = arr.neighbor_stats();
+  EXPECT_EQ(stats.min, 3u);  // Fig. 4d: min 3 (vs 2 for BW)
+  EXPECT_EQ(stats.max, 6u);
+}
+
+TEST(Hexamesh, RegularDiameterIsTwoR) {
+  for (std::size_t rings : {1u, 2u, 3u, 4u, 5u}) {
+    const auto arr = hm::core::make_hexamesh_regular(rings);
+    EXPECT_EQ(hm::graph::diameter(arr.graph()), static_cast<int>(2 * rings));
+  }
+}
+
+TEST(Hexamesh, ExactChipletCountForAllN) {
+  for (std::size_t n = 1; n <= 100; ++n) {
+    EXPECT_EQ(make_hexamesh(n).chiplet_count(), n) << "n=" << n;
+  }
+}
+
+TEST(Hexamesh, IrregularMinDegreeAtLeastTwoBeyondFirstRing) {
+  // Sec. IV-C: irregular HM keeps min degree 2 (for n past the first ring).
+  for (std::size_t n = 8; n <= 100; ++n) {
+    if (hm::core::is_regular_hexamesh_count(n)) continue;
+    const auto arr = hm::core::make_hexamesh_irregular(n);
+    EXPECT_GE(arr.neighbor_stats().min, 2u) << "n=" << n;
+  }
+}
+
+TEST(Hexamesh, EdgeCountOfRegular) {
+  // Triangular-lattice ball with r rings: 9r^2 + 3r edges.
+  for (std::size_t r : {1u, 2u, 3u, 4u}) {
+    const auto arr = hm::core::make_hexamesh_regular(r);
+    EXPECT_EQ(arr.graph().edge_count(), 9 * r * r + 3 * r) << "r=" << r;
+  }
+}
+
+TEST(Hexamesh, CenterHasSixNeighborsFromFirstRing) {
+  const auto arr = hm::core::make_hexamesh_regular(2);
+  EXPECT_EQ(arr.graph().degree(0), 6u);  // id 0 is the center
+}
+
+// --- Honeycomb ---------------------------------------------------------------
+
+TEST(Honeycomb, GraphMatchesBrickwall) {
+  for (std::size_t n : {9u, 12u, 13u, 25u}) {
+    const auto hc = make_honeycomb(n);
+    const auto bw = make_brickwall(n);
+    EXPECT_EQ(hc.graph().edges(), bw.graph().edges()) << "n=" << n;
+  }
+}
+
+TEST(Honeycomb, NoRectPlacement) {
+  const auto hc = make_honeycomb(9);
+  EXPECT_FALSE(hc.has_rect_placement());
+  EXPECT_THROW((void)hc.placement(1.0, 1.0), std::logic_error);
+}
+
+// --- Cross-cutting properties -------------------------------------------------
+
+class AllArrangementsTest
+    : public ::testing::TestWithParam<std::tuple<ArrangementType, int>> {};
+
+TEST_P(AllArrangementsTest, ConnectedAndPlanarBound) {
+  const auto [type, n] = GetParam();
+  const auto arr = make_arrangement(type, static_cast<std::size_t>(n));
+  EXPECT_TRUE(hm::graph::is_connected(arr.graph()));
+  // Sec. IV-A: every arrangement graph is planar -> e <= 3v - 6.
+  EXPECT_TRUE(hm::graph::satisfies_planar_bound(arr.graph()));
+  EXPECT_LE(arr.graph().max_degree(), 6u);
+}
+
+TEST_P(AllArrangementsTest, GeometricAdjacencyMatchesGraph) {
+  const auto [type, n] = GetParam();
+  if (type == ArrangementType::kHoneycomb) GTEST_SKIP();
+  const auto arr = make_arrangement(type, static_cast<std::size_t>(n));
+  const auto placement = arr.placement(4.38, 3.65);
+  EXPECT_TRUE(placement.is_overlap_free());
+  EXPECT_EQ(placement.adjacency_graph(0.01).edges(), arr.graph().edges());
+}
+
+TEST_P(AllArrangementsTest, CoordsAreUnique) {
+  const auto [type, n] = GetParam();
+  const auto arr = make_arrangement(type, static_cast<std::size_t>(n));
+  std::set<std::pair<int, int>> seen;
+  for (const auto& c : arr.coords()) seen.insert({c.a, c.b});
+  EXPECT_EQ(seen.size(), arr.chiplet_count());
+}
+
+TEST_P(AllArrangementsTest, AvgDegreeBelowPlanarBound) {
+  const auto [type, n] = GetParam();
+  const auto arr = make_arrangement(type, static_cast<std::size_t>(n));
+  if (arr.chiplet_count() < 3) GTEST_SKIP();
+  EXPECT_LE(arr.neighbor_stats().avg,
+            hm::graph::planar_avg_degree_bound(arr.chiplet_count()) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllArrangementsTest,
+    ::testing::Combine(::testing::Values(ArrangementType::kGrid,
+                                         ArrangementType::kBrickwall,
+                                         ArrangementType::kHexaMesh,
+                                         ArrangementType::kHoneycomb),
+                       ::testing::Values(1, 2, 3, 4, 5, 7, 9, 12, 13, 16, 19,
+                                         25, 36, 37, 42, 50, 61, 64, 77, 91,
+                                         100)),
+    [](const auto& info) {
+      return hm::core::to_string(std::get<0>(info.param)) + "_N" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Arrangement, NameIsHumanReadable) {
+  EXPECT_EQ(make_hexamesh(37).name(), "hexamesh (regular, N=37)");
+  EXPECT_EQ(make_grid(13).name(), "grid (irregular, N=13)");
+}
+
+TEST(Arrangement, GraphCoordMismatchRejected) {
+  EXPECT_THROW(Arrangement(ArrangementType::kGrid, RegularityClass::kRegular,
+                           {{0, 0}, {0, 1}}, hm::graph::Graph(3)),
+               std::invalid_argument);
+}
+
+TEST(Arrangement, EmptyRejected) {
+  EXPECT_THROW(Arrangement(ArrangementType::kGrid, RegularityClass::kRegular,
+                           {}, hm::graph::Graph(0)),
+               std::invalid_argument);
+}
+
+TEST(Arrangement, FactoriesRejectZero) {
+  EXPECT_THROW((void)make_grid(0), std::invalid_argument);
+  EXPECT_THROW((void)make_brickwall(0), std::invalid_argument);
+  EXPECT_THROW((void)make_hexamesh(0), std::invalid_argument);
+}
+
+TEST(Arrangement, PlacementRejectsBadDims) {
+  const auto arr = make_grid(4);
+  EXPECT_THROW((void)arr.placement(0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace

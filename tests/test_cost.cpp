@@ -1,0 +1,131 @@
+// Tests for the cost/yield extension module: the negative-binomial yield
+// model, dies-per-wafer geometry and the monolithic-vs-chiplets comparison
+// that quantifies the paper's Sec. I economics motivation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost_model.hpp"
+
+namespace {
+
+using namespace hm::cost;
+
+TEST(Yield, PerfectProcessYieldsOne) {
+  ProcessParams p;
+  p.defect_density_per_mm2 = 0.0;
+  EXPECT_DOUBLE_EQ(negative_binomial_yield(800.0, p), 1.0);
+}
+
+TEST(Yield, KnownValue) {
+  // Y = (1 + A*D0/alpha)^-alpha with A=100, D0=0.001, alpha=3:
+  // (1 + 0.1/3)^-3 = 0.90622...
+  ProcessParams p;
+  const double y = negative_binomial_yield(100.0, p);
+  EXPECT_NEAR(y, std::pow(1.0 + 0.1 / 3.0, -3.0), 1e-12);
+}
+
+TEST(Yield, DecreasesWithArea) {
+  ProcessParams p;
+  EXPECT_GT(negative_binomial_yield(50.0, p),
+            negative_binomial_yield(800.0, p));
+}
+
+TEST(Yield, DecreasesWithDefectDensity) {
+  ProcessParams clean;
+  ProcessParams dirty;
+  dirty.defect_density_per_mm2 = 0.01;
+  EXPECT_GT(negative_binomial_yield(400.0, clean),
+            negative_binomial_yield(400.0, dirty));
+}
+
+TEST(DiesPerWafer, RoughGeometry) {
+  ProcessParams p;  // 300 mm wafer
+  const double dpw = dies_per_wafer(100.0, p);
+  // Gross area ratio is ~706; edge losses take out ~67.
+  EXPECT_GT(dpw, 550.0);
+  EXPECT_LT(dpw, 706.0);
+}
+
+TEST(DiesPerWafer, MoreSmallDiesThanLarge) {
+  ProcessParams p;
+  EXPECT_GT(dies_per_wafer(50.0, p), 2.0 * dies_per_wafer(200.0, p));
+}
+
+TEST(GoodDieCost, IncreasesSuperlinearlyWithArea) {
+  ProcessParams p;
+  p.defect_density_per_mm2 = 0.002;
+  const double c100 = good_die_cost(100.0, p);
+  const double c400 = good_die_cost(400.0, p);
+  EXPECT_GT(c400, 4.0 * c100);  // yield loss makes big dies extra expensive
+}
+
+TEST(CostModel, ChipletsWinAtHighDefectDensity) {
+  ProcessParams p;
+  p.defect_density_per_mm2 = 0.003;  // advanced node, poor yield
+  SystemParams s;
+  s.total_logic_area_mm2 = 800.0;
+  s.num_chiplets = 16;
+  EXPECT_LT(chiplet_cost(s, p).total, monolithic_cost(s, p).total);
+}
+
+TEST(CostModel, MonolithWinsWhenDefectFree) {
+  ProcessParams p;
+  p.defect_density_per_mm2 = 0.0;
+  SystemParams s;
+  s.num_chiplets = 16;
+  // No yield advantage left; chiplets still pay PHY area + packaging.
+  EXPECT_GT(chiplet_cost(s, p).total, monolithic_cost(s, p).total);
+}
+
+TEST(CostModel, BreakdownSumsToTotal) {
+  ProcessParams p;
+  SystemParams s;
+  const auto c = chiplet_cost(s, p);
+  EXPECT_NEAR(c.total, c.silicon + c.packaging + c.nre_per_unit, 1e-9);
+  const auto m = monolithic_cost(s, p);
+  EXPECT_NEAR(m.total, m.silicon + m.packaging + m.nre_per_unit, 1e-9);
+}
+
+TEST(CostModel, NreAmortizesWithVolume) {
+  ProcessParams p;
+  SystemParams low;
+  low.volume = 1000;
+  SystemParams high;
+  high.volume = 1000000;
+  EXPECT_GT(chiplet_cost(low, p).nre_per_unit,
+            chiplet_cost(high, p).nre_per_unit);
+}
+
+TEST(CostModel, AssemblyYieldCompounds) {
+  ProcessParams p;
+  SystemParams s;
+  s.num_chiplets = 20;
+  s.assembly_yield_per_chiplet = 0.99;
+  const auto c = chiplet_cost(s, p);
+  EXPECT_NEAR(c.compound_yield, std::pow(0.99, 20), 1e-12);
+}
+
+TEST(CostModel, PhyOverheadIncreasesSilicon) {
+  ProcessParams p;
+  SystemParams none;
+  none.phy_area_fraction = 0.0;
+  SystemParams some;
+  some.phy_area_fraction = 0.10;
+  EXPECT_GT(chiplet_cost(some, p).silicon, chiplet_cost(none, p).silicon);
+}
+
+TEST(CostModel, InvalidInputsRejected) {
+  ProcessParams p;
+  p.wafer_cost = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  SystemParams s;
+  s.num_chiplets = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  ProcessParams ok;
+  EXPECT_THROW((void)negative_binomial_yield(-5.0, ok),
+               std::invalid_argument);
+  EXPECT_THROW((void)good_die_cost(1e9, ok), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Tests for the link-length/frequency model, including the paper's Sec. V
+// claim: adjacent-chiplet links are below 4 mm in general and below 2 mm
+// for N >= 10 chiplets.
+#include <gtest/gtest.h>
+
+#include "core/frequency_model.hpp"
+#include "core/link_model.hpp"
+#include "core/shape.hpp"
+
+namespace {
+
+using namespace hm::core;
+
+TEST(FrequencyModel, FullRateWithinReach) {
+  EXPECT_DOUBLE_EQ(
+      max_link_frequency_hz(1.0, PackagingTech::kSiliconInterposer), 16e9);
+  EXPECT_DOUBLE_EQ(
+      max_link_frequency_hz(2.0, PackagingTech::kSiliconInterposer), 16e9);
+  EXPECT_DOUBLE_EQ(
+      max_link_frequency_hz(4.0, PackagingTech::kOrganicSubstrate), 16e9);
+}
+
+TEST(FrequencyModel, InverseDeratingBeyondReach) {
+  // Doubling the length beyond the reach halves the rate.
+  EXPECT_DOUBLE_EQ(
+      max_link_frequency_hz(4.0, PackagingTech::kSiliconInterposer), 8e9);
+  EXPECT_DOUBLE_EQ(
+      max_link_frequency_hz(8.0, PackagingTech::kSiliconInterposer), 4e9);
+  EXPECT_DOUBLE_EQ(
+      max_link_frequency_hz(8.0, PackagingTech::kOrganicSubstrate), 8e9);
+}
+
+TEST(FrequencyModel, FlooredAtOneEighth) {
+  EXPECT_DOUBLE_EQ(
+      max_link_frequency_hz(1000.0, PackagingTech::kSiliconInterposer),
+      2e9);
+}
+
+TEST(FrequencyModel, MonotoneNonIncreasingInLength) {
+  double prev = 1e18;
+  for (double len = 0.5; len < 30.0; len += 0.5) {
+    const double f =
+        max_link_frequency_hz(len, PackagingTech::kSiliconInterposer);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(FrequencyModel, InvalidInputsRejected) {
+  EXPECT_THROW((void)max_link_frequency_hz(0.0,
+                                           PackagingTech::kOrganicSubstrate),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)max_link_frequency_hz(1.0, PackagingTech::kOrganicSubstrate, 0.0),
+      std::invalid_argument);
+}
+
+TEST(FrequencyModel, InterposerReachIsShorterThanSubstrate) {
+  EXPECT_LT(full_rate_reach_mm(PackagingTech::kSiliconInterposer),
+            full_rate_reach_mm(PackagingTech::kOrganicSubstrate));
+}
+
+// --- The paper's Sec. V link-length claim -------------------------------------
+
+TEST(LinkLength, Below4mmInGeneral) {
+  for (std::size_t n = 2; n <= 100; ++n) {
+    const double ac = kDefaultTotalAreaMm2 / static_cast<double>(n);
+    EXPECT_LT(adjacent_link_length_mm(solve_grid_shape({ac, 0.4})), 4.0)
+        << "grid n=" << n;
+    EXPECT_LT(adjacent_link_length_mm(solve_hex_shape({ac, 0.4})), 4.0)
+        << "hex n=" << n;
+  }
+}
+
+TEST(LinkLength, Below2mmForTenOrMoreChiplets) {
+  for (std::size_t n = 10; n <= 100; ++n) {
+    const double ac = kDefaultTotalAreaMm2 / static_cast<double>(n);
+    EXPECT_LT(adjacent_link_length_mm(solve_grid_shape({ac, 0.4})), 2.0)
+        << "grid n=" << n;
+    EXPECT_LT(adjacent_link_length_mm(solve_hex_shape({ac, 0.4})), 2.0)
+        << "hex n=" << n;
+  }
+}
+
+TEST(LinkLength, ShrinksWithChipletCount) {
+  const double a10 = kDefaultTotalAreaMm2 / 10.0;
+  const double a100 = kDefaultTotalAreaMm2 / 100.0;
+  EXPECT_GT(adjacent_link_length_mm(solve_hex_shape({a10, 0.4})),
+            adjacent_link_length_mm(solve_hex_shape({a100, 0.4})));
+}
+
+TEST(DeratedLink, AdjacentLinksKeepFullBandwidth) {
+  const double ac = kDefaultTotalAreaMm2 / 64.0;
+  const ChipletShape s = solve_hex_shape({ac, 0.4});
+  LinkModelParams p;
+  p.link_area_mm2 = s.link_sector_area;
+  const auto plain = estimate_link(p);
+  const auto derated = estimate_link_with_length(
+      p, adjacent_link_length_mm(s), PackagingTech::kSiliconInterposer);
+  EXPECT_DOUBLE_EQ(plain.bandwidth_bps, derated.bandwidth_bps);
+}
+
+TEST(DeratedLink, LongLinksLoseBandwidth) {
+  LinkModelParams p;
+  p.link_area_mm2 = 1.0;
+  const auto near = estimate_link_with_length(
+      p, 1.0, PackagingTech::kSiliconInterposer);
+  const auto far = estimate_link_with_length(
+      p, 6.0, PackagingTech::kSiliconInterposer);
+  EXPECT_DOUBLE_EQ(far.bandwidth_bps, near.bandwidth_bps / 3.0);
+  EXPECT_EQ(far.data_wires, near.data_wires);  // wires unchanged, rate drops
+}
+
+}  // namespace

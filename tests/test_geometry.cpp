@@ -1,0 +1,248 @@
+// Tests for the geometry substrate: rectangles, polygons, shared edges,
+// placements (adjacency extraction, overlaps, bounding box) and the Fig. 5
+// bump-sector layouts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geometry/bump_layout.hpp"
+#include "geometry/placement.hpp"
+#include "geometry/rect.hpp"
+
+namespace {
+
+using hm::geom::BumpSector;
+using hm::geom::ChipletPlacement;
+using hm::geom::Point;
+using hm::geom::Polygon;
+using hm::geom::Rect;
+using hm::geom::SectorRole;
+
+// --- Rect --------------------------------------------------------------------
+
+TEST(Rect, BasicAccessors) {
+  const Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.left(), 1.0);
+  EXPECT_DOUBLE_EQ(r.right(), 4.0);
+  EXPECT_DOUBLE_EQ(r.bottom(), 2.0);
+  EXPECT_DOUBLE_EQ(r.top(), 6.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 2.5);
+  EXPECT_DOUBLE_EQ(r.center().y, 4.0);
+}
+
+TEST(Rect, ValidateRejectsDegenerate) {
+  EXPECT_THROW((Rect{0, 0, 0, 1}.validate()), std::invalid_argument);
+  EXPECT_THROW((Rect{0, 0, 1, -1}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((Rect{0, 0, 1, 1}.validate()));
+}
+
+TEST(Rect, OverlapsDetectsInterior) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.overlaps(Rect{1, 1, 2, 2}));
+  EXPECT_FALSE(a.overlaps(Rect{2, 0, 2, 2}));  // edge contact only
+  EXPECT_FALSE(a.overlaps(Rect{3, 3, 1, 1}));
+}
+
+TEST(Rect, ContainsBoundaryPoints) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.contains(Point{0, 0}));
+  EXPECT_TRUE(a.contains(Point{2, 2}));
+  EXPECT_TRUE(a.contains(Point{1, 1}));
+  EXPECT_FALSE(a.contains(Point{2.1, 1}));
+}
+
+// --- shared_edge_length ------------------------------------------------------
+
+TEST(SharedEdge, FullVerticalContact) {
+  const Rect a{0, 0, 1, 2};
+  const Rect b{1, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(shared_edge_length(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(shared_edge_length(b, a), 2.0);
+}
+
+TEST(SharedEdge, PartialHorizontalContact) {
+  const Rect a{0, 0, 2, 1};
+  const Rect b{1, 1, 2, 1};  // offset by half
+  EXPECT_DOUBLE_EQ(shared_edge_length(a, b), 1.0);
+}
+
+TEST(SharedEdge, CornerContactIsZero) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(shared_edge_length(a, b), 0.0);
+}
+
+TEST(SharedEdge, SeparatedRectsAreZero) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{5, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(shared_edge_length(a, b), 0.0);
+}
+
+// --- Polygon -----------------------------------------------------------------
+
+TEST(Polygon, RectArea) {
+  const Polygon p = to_polygon(Rect{0, 0, 3, 2});
+  EXPECT_DOUBLE_EQ(p.area(), 6.0);
+  EXPECT_GT(p.signed_area(), 0.0);  // counter-clockwise
+}
+
+TEST(Polygon, TriangleArea) {
+  const Polygon p{{{0, 0}, {2, 0}, {0, 2}}};
+  EXPECT_DOUBLE_EQ(p.area(), 2.0);
+}
+
+TEST(Polygon, TrapezoidArea) {
+  // Trapezoid with parallel sides 4 and 2, height 1.
+  const Polygon p{{{0, 0}, {4, 0}, {3, 1}, {1, 1}}};
+  EXPECT_DOUBLE_EQ(p.area(), 3.0);
+}
+
+// --- bounding_box ------------------------------------------------------------
+
+TEST(BoundingBox, EnclosesAll) {
+  const Rect bb = hm::geom::bounding_box(
+      {Rect{0, 0, 1, 1}, Rect{2, -1, 1, 1}, Rect{-1, 3, 2, 1}});
+  EXPECT_DOUBLE_EQ(bb.left(), -1.0);
+  EXPECT_DOUBLE_EQ(bb.bottom(), -1.0);
+  EXPECT_DOUBLE_EQ(bb.right(), 3.0);
+  EXPECT_DOUBLE_EQ(bb.top(), 4.0);
+}
+
+TEST(BoundingBox, EmptyThrows) {
+  EXPECT_THROW((void)hm::geom::bounding_box({}), std::invalid_argument);
+}
+
+// --- ChipletPlacement --------------------------------------------------------
+
+ChipletPlacement two_by_two() {
+  return ChipletPlacement{{Rect{0, 0, 1, 1}, Rect{1, 0, 1, 1},
+                           Rect{0, 1, 1, 1}, Rect{1, 1, 1, 1}}};
+}
+
+TEST(Placement, AdjacencyOfTwoByTwo) {
+  const auto g = two_by_two().adjacency_graph();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);  // square of 4 chiplets: 4 shared edges
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));  // diagonal: corner contact only
+}
+
+TEST(Placement, OverlapDetection) {
+  ChipletPlacement ok = two_by_two();
+  EXPECT_TRUE(ok.is_overlap_free());
+  ChipletPlacement bad{{Rect{0, 0, 2, 2}, Rect{1, 1, 2, 2}}};
+  EXPECT_FALSE(bad.is_overlap_free());
+}
+
+TEST(Placement, ContactLengthAndCenterDistance) {
+  const auto p = two_by_two();
+  EXPECT_DOUBLE_EQ(p.contact_length(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.contact_length(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(p.center_distance(0, 1), 1.0);
+}
+
+TEST(Placement, UtilizationOfFullTiling) {
+  EXPECT_NEAR(two_by_two().utilization(), 1.0, 1e-12);
+}
+
+TEST(Placement, MinContactFiltersShortEdges) {
+  // Two rects sharing only 0.1 of their boundary.
+  ChipletPlacement p{{Rect{0, 0, 1, 1}, Rect{1, 0.9, 1, 1}}};
+  EXPECT_EQ(p.adjacency_graph(0.05).edge_count(), 1u);
+  EXPECT_EQ(p.adjacency_graph(0.2).edge_count(), 0u);
+}
+
+TEST(Placement, RejectsDegenerateChiplet) {
+  EXPECT_THROW(ChipletPlacement({Rect{0, 0, 0, 1}}), std::invalid_argument);
+}
+
+TEST(Placement, IndexOutOfRangeThrows) {
+  const auto p = two_by_two();
+  EXPECT_THROW((void)p.chiplet(9), std::out_of_range);
+  EXPECT_THROW((void)p.contact_length(0, 9), std::out_of_range);
+}
+
+TEST(Placement, AsciiRenderingHasContent) {
+  const auto art = two_by_two().to_ascii(16);
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+// --- Bump layouts (Fig. 5) ---------------------------------------------------
+
+TEST(BumpLayout, GridSectorCountAndRoles) {
+  const auto sectors = hm::geom::grid_bump_layout(4.0, 2.0);
+  ASSERT_EQ(sectors.size(), 5u);
+  EXPECT_EQ(sectors[0].role, SectorRole::kPower);
+}
+
+TEST(BumpLayout, GridSectorAreasMatchFormulas) {
+  const double wc = 4.0, wp = 2.0;
+  const auto sectors = hm::geom::grid_bump_layout(wc, wp);
+  const double expected_link = (wc * wc - wp * wp) / 4.0;
+  double total = 0.0;
+  for (const auto& s : sectors) {
+    total += s.area();
+    if (s.role != SectorRole::kPower) {
+      EXPECT_NEAR(s.area(), expected_link, 1e-12);
+    } else {
+      EXPECT_NEAR(s.area(), wp * wp, 1e-12);
+    }
+  }
+  EXPECT_NEAR(total, wc * wc, 1e-12);  // sectors tile the chiplet
+}
+
+TEST(BumpLayout, GridMaxBumpDistanceEqualsFrame) {
+  const double wc = 4.0, wp = 2.0;
+  for (const auto& s : hm::geom::grid_bump_layout(wc, wp)) {
+    if (s.role == SectorRole::kPower) continue;
+    EXPECT_NEAR(hm::geom::max_bump_to_edge_distance(s, wc, wc),
+                (wc - wp) / 2.0, 1e-12);
+  }
+}
+
+TEST(BumpLayout, HexSectorAreasAllEqual) {
+  const double wc = 4.3818, hc = 3.6515, db = 0.7303;
+  const auto sectors = hm::geom::hex_bump_layout(wc, hc, db);
+  ASSERT_EQ(sectors.size(), 7u);
+  double total = 0.0;
+  double link_area = -1.0;
+  for (const auto& s : sectors) {
+    total += s.area();
+    if (s.role == SectorRole::kPower) continue;
+    if (link_area < 0) link_area = s.area();
+    EXPECT_NEAR(s.area(), link_area, 1e-9);
+  }
+  EXPECT_NEAR(total, wc * hc, 1e-9);
+}
+
+TEST(BumpLayout, HexMaxBumpDistanceEqualsDb) {
+  const double wc = 4.3818, hc = 3.6515, db = 0.7303;
+  for (const auto& s : hm::geom::hex_bump_layout(wc, hc, db)) {
+    if (s.role == SectorRole::kPower) continue;
+    EXPECT_NEAR(hm::geom::max_bump_to_edge_distance(s, wc, hc), db, 1e-12);
+  }
+}
+
+TEST(BumpLayout, InvalidParamsRejected) {
+  EXPECT_THROW((void)hm::geom::grid_bump_layout(2.0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)hm::geom::hex_bump_layout(4.0, 3.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(BumpLayout, PowerSectorHasNoEdgeDistance) {
+  const auto sectors = hm::geom::grid_bump_layout(4.0, 2.0);
+  EXPECT_THROW(
+      (void)hm::geom::max_bump_to_edge_distance(sectors[0], 4.0, 4.0),
+      std::invalid_argument);
+}
+
+TEST(BumpLayout, RoleNames) {
+  EXPECT_EQ(hm::geom::to_string(SectorRole::kPower), "power");
+  EXPECT_EQ(hm::geom::to_string(SectorRole::kLinkNorthWest), "NW");
+}
+
+}  // namespace

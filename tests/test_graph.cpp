@@ -1,0 +1,277 @@
+// Unit tests for the graph substrate: construction, degrees, BFS,
+// diameter/average distance, connectivity and the planar bound.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace {
+
+using hm::graph::Graph;
+using hm::graph::NodeId;
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g = path_graph(n);
+  g.add_edge(0, static_cast<NodeId>(n - 1));
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+// --- Graph construction ------------------------------------------------------
+
+TEST(Graph, EmptyGraphHasNoNodesOrEdges) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, ConstructorCreatesIsolatedVertices) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+}
+
+TEST(Graph, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_node(), 2u);
+  EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(Graph, AddEdgeCreatesSymmetricAdjacency) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, DuplicateEdgeRejected) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeEndpointRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.degree(5), std::out_of_range);
+  EXPECT_THROW((void)g.neighbors(2), std::out_of_range);
+}
+
+TEST(Graph, DegreeStatistics) {
+  Graph g = path_graph(4);  // degrees 1,2,2,1
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 2.0 * 3 / 4);
+}
+
+TEST(Graph, EdgesListSortedAndComplete) {
+  Graph g(3);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(NodeId{0}, NodeId{2}));
+  EXPECT_EQ(edges[1], std::make_pair(NodeId{1}, NodeId{2}));
+}
+
+TEST(Graph, ToStringSummarizes) {
+  Graph g = cycle_graph(4);
+  EXPECT_EQ(g.to_string(), "Graph(v=4, e=4)");
+}
+
+// --- BFS ---------------------------------------------------------------------
+
+TEST(Bfs, DistancesOnPath) {
+  Graph g = path_graph(5);
+  const auto dist = hm::graph::bfs_distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(Bfs, DistancesFromMiddle) {
+  Graph g = path_graph(5);
+  const auto dist = hm::graph::bfs_distances(g, 2);
+  EXPECT_EQ(dist[0], 2);
+  EXPECT_EQ(dist[4], 2);
+  EXPECT_EQ(dist[2], 0);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto dist = hm::graph::bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], hm::graph::kUnreachable);
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW((void)hm::graph::bfs_distances(g, 7), std::out_of_range);
+}
+
+// --- Diameter / eccentricity -------------------------------------------------
+
+TEST(Diameter, PathGraph) {
+  EXPECT_EQ(hm::graph::diameter(path_graph(10)), 9);
+}
+
+TEST(Diameter, CycleGraph) {
+  EXPECT_EQ(hm::graph::diameter(cycle_graph(10)), 5);
+  EXPECT_EQ(hm::graph::diameter(cycle_graph(11)), 5);
+}
+
+TEST(Diameter, CompleteGraph) {
+  EXPECT_EQ(hm::graph::diameter(complete_graph(6)), 1);
+}
+
+TEST(Diameter, GridGraphMatchesManhattan) {
+  // k x k mesh diameter = 2(k-1).
+  EXPECT_EQ(hm::graph::diameter(grid_graph(4, 4)), 6);
+  EXPECT_EQ(hm::graph::diameter(grid_graph(5, 3)), 6);
+}
+
+TEST(Diameter, SingleVertexIsZero) {
+  EXPECT_EQ(hm::graph::diameter(Graph(1)), 0);
+}
+
+TEST(Diameter, DisconnectedThrows) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)hm::graph::diameter(g), std::invalid_argument);
+}
+
+TEST(Eccentricity, CenterOfPath) {
+  EXPECT_EQ(hm::graph::eccentricity(path_graph(5), 2), 2);
+  EXPECT_EQ(hm::graph::eccentricity(path_graph(5), 0), 4);
+}
+
+// --- Average distance --------------------------------------------------------
+
+TEST(AverageDistance, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(hm::graph::average_distance(complete_graph(5)), 1.0);
+}
+
+TEST(AverageDistance, PathOfThree) {
+  // Pairs: (0,1)=1 (0,2)=2 (1,2)=1 -> mean = 4/3.
+  EXPECT_NEAR(hm::graph::average_distance(path_graph(3)), 4.0 / 3.0, 1e-12);
+}
+
+TEST(AverageDistance, SingleVertexIsZero) {
+  EXPECT_DOUBLE_EQ(hm::graph::average_distance(Graph(1)), 0.0);
+}
+
+// --- Connectivity ------------------------------------------------------------
+
+TEST(Connectivity, ConnectedGraph) {
+  EXPECT_TRUE(hm::graph::is_connected(cycle_graph(7)));
+}
+
+TEST(Connectivity, DisconnectedGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(hm::graph::is_connected(g));
+}
+
+TEST(Connectivity, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(hm::graph::is_connected(Graph(0)));
+  EXPECT_TRUE(hm::graph::is_connected(Graph(1)));
+}
+
+// --- Planar bound ------------------------------------------------------------
+
+TEST(PlanarBound, GridSatisfies) {
+  EXPECT_TRUE(hm::graph::satisfies_planar_bound(grid_graph(5, 5)));
+}
+
+TEST(PlanarBound, K5Violates) {
+  EXPECT_FALSE(hm::graph::satisfies_planar_bound(complete_graph(5)));
+}
+
+TEST(PlanarBound, SmallGraphsVacuouslyTrue) {
+  EXPECT_TRUE(hm::graph::satisfies_planar_bound(complete_graph(2)));
+}
+
+TEST(PlanarBound, AvgDegreeBoundFormula) {
+  EXPECT_NEAR(hm::graph::planar_avg_degree_bound(12), 6.0 - 1.0, 1e-12);
+  EXPECT_THROW((void)hm::graph::planar_avg_degree_bound(2),
+               std::invalid_argument);
+}
+
+// --- All-pairs & histogram ---------------------------------------------------
+
+TEST(AllPairs, MatchesSingleSourceBfs) {
+  Graph g = grid_graph(3, 4);
+  const auto all = hm::graph::all_pairs_distances(g);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(all[v], hm::graph::bfs_distances(g, v));
+  }
+}
+
+TEST(DistanceHistogram, PathOfThree) {
+  const auto hist = hm::graph::distance_histogram(path_graph(3));
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 3u);  // self pairs
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(DistanceHistogram, SumsToAllPairs) {
+  Graph g = grid_graph(4, 4);
+  const auto hist = hm::graph::distance_histogram(g);
+  std::size_t total = 0;
+  for (std::size_t c : hist) total += c;
+  EXPECT_EQ(total, 16u * 17u / 2u);  // unordered pairs incl. self
+}
+
+}  // namespace

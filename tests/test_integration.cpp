@@ -1,0 +1,109 @@
+// End-to-end integration tests reproducing the paper's headline comparisons
+// on scaled-down design points (full-scale sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/honeycomb.hpp"
+#include "core/brickwall.hpp"
+#include "core/proxies.hpp"
+#include "graph/algorithms.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace hm::core;
+
+EvaluationParams fast_sim_params() {
+  EvaluationParams p;
+  p.latency_warmup = 500;
+  p.latency_measure = 4000;
+  p.throughput_warmup = 3000;
+  p.throughput_measure = 4000;
+  return p;
+}
+
+TEST(Integration, HexameshReducesZeroLoadLatencyVsGrid) {
+  // Paper Sec. VI-C: ~20% latency reduction for N >= 10. Compare at N = 36
+  // (regular grid) vs N = 37 (regular HexaMesh).
+  const auto grid = evaluate(make_grid(36), fast_sim_params());
+  const auto hexa = evaluate(make_hexamesh(37), fast_sim_params());
+  ASSERT_TRUE(grid.latency_run_drained);
+  ASSERT_TRUE(hexa.latency_run_drained);
+  const double ratio =
+      hexa.zero_load_latency_cycles / grid.zero_load_latency_cycles;
+  EXPECT_LT(ratio, 0.95);  // clearly better
+  EXPECT_GT(ratio, 0.60);  // but not implausibly so
+}
+
+TEST(Integration, HexameshImprovesSaturationThroughputVsGrid) {
+  // Paper Sec. VI-C: +34% average throughput (in Tb/s, accounting for the
+  // lower per-link bandwidth of the 6-sector chiplets).
+  const auto grid = evaluate(make_grid(36), fast_sim_params());
+  const auto hexa = evaluate(make_hexamesh(37), fast_sim_params());
+  EXPECT_GT(hexa.saturation_throughput_bps, grid.saturation_throughput_bps);
+}
+
+TEST(Integration, BrickwallSitsBetweenGridAndHexamesh) {
+  const auto g = evaluate_analytic(make_grid(49));
+  const auto b = evaluate_analytic(make_brickwall(49));
+  const auto h = evaluate_analytic(make_hexamesh(49));
+  EXPECT_LE(b.diameter, g.diameter);
+  EXPECT_LE(h.diameter, b.diameter);
+  EXPECT_GE(b.bisection_links, g.bisection_links);
+  EXPECT_GE(h.bisection_links, b.bisection_links);
+}
+
+TEST(Integration, PartitionerTracksFormulasOnRegularArrangements) {
+  // Fig. 6b methodology: formulas for regular, METIS (here: FM) otherwise.
+  for (std::size_t side : {4u, 6u}) {
+    const auto arr = make_grid_regular(side);
+    EXPECT_EQ(hm::partition::bisection_width(arr.graph()), side);
+  }
+  for (std::size_t rings : {2u, 3u}) {
+    const auto arr = make_hexamesh_regular(rings);
+    EXPECT_EQ(hm::partition::bisection_width(arr.graph()), 4 * rings + 1);
+  }
+}
+
+TEST(Integration, HoneycombMatchesBrickwallProxies) {
+  const auto hc = make_honeycomb(49);
+  const auto bw = make_brickwall(49);
+  EXPECT_EQ(hm::graph::diameter(hc.graph()), hm::graph::diameter(bw.graph()));
+  EXPECT_EQ(hm::partition::bisection_width(hc.graph()),
+            hm::partition::bisection_width(bw.graph()));
+}
+
+TEST(Integration, DiameterAdvantageGrowsWithN) {
+  // The HM/G diameter ratio approaches 1/sqrt(3) from above.
+  const double r19 =
+      static_cast<double>(hm::graph::diameter(make_hexamesh(19).graph())) /
+      hm::graph::diameter(make_grid(16).graph());
+  const double r91 =
+      static_cast<double>(hm::graph::diameter(make_hexamesh(91).graph())) /
+      hm::graph::diameter(make_grid(100).graph());
+  EXPECT_LT(r91, r19 + 0.05);
+  EXPECT_GT(r91, asymptotic_diameter_ratio_hm() - 0.05);
+}
+
+TEST(Integration, FullGlobalBandwidthAccounting) {
+  // Sec. VI-A: full global BW = N x endpoints x per-link BW.
+  const auto r = evaluate_analytic(make_hexamesh(37));
+  EXPECT_DOUBLE_EQ(r.full_global_bandwidth_bps,
+                   37.0 * 2.0 * r.per_link_bandwidth_bps);
+}
+
+TEST(Integration, EveryArrangementSizeBuildsAndEvaluatesAnalytically) {
+  for (std::size_t n = 1; n <= 100; n += 7) {
+    for (auto type : {ArrangementType::kGrid, ArrangementType::kBrickwall,
+                      ArrangementType::kHexaMesh}) {
+      const auto arr = make_arrangement(type, n);
+      const auto r = evaluate_analytic(arr);
+      EXPECT_EQ(r.chiplet_count, n);
+      EXPECT_GT(r.per_link_bandwidth_bps, 0.0) << arr.name();
+    }
+  }
+}
+
+}  // namespace

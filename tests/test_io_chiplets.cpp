@@ -1,0 +1,109 @@
+// Tests for the perimeter I/O-chiplet placement (Sec. III-A, Fig. 2).
+#include <gtest/gtest.h>
+
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/honeycomb.hpp"
+#include "core/io_chiplets.hpp"
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using namespace hm::core;
+
+TEST(IoChiplets, SingleChipletGetsFourSlots) {
+  const auto plan = place_io_chiplets(make_grid(1), 4.0, 4.0, 2.0);
+  EXPECT_EQ(plan.io.size(), 4u);
+  EXPECT_EQ(plan.extended.node_count(), 5u);
+  // Every I/O chiplet touches the single compute chiplet.
+  for (const auto& slot : plan.io) {
+    EXPECT_EQ(slot.attached_chiplet, 0u);
+    EXPECT_DOUBLE_EQ(slot.contact_mm, 4.0);
+  }
+}
+
+TEST(IoChiplets, ThreeByThreeGridPerimeter) {
+  // 3x3 grid: 4 corner chiplets expose 2 sides, 4 edge chiplets expose 1,
+  // the center none -> 12 slots.
+  const auto plan = place_io_chiplets(make_grid(9), 3.0, 3.0, 1.5);
+  EXPECT_EQ(plan.io.size(), 12u);
+}
+
+TEST(IoChiplets, CombinedPlacementIsOverlapFree) {
+  for (std::size_t n : {9u, 19u, 37u}) {
+    const auto plan = place_io_chiplets(make_hexamesh(n), 4.38, 3.65, 1.8);
+    EXPECT_TRUE(plan.combined_placement().is_overlap_free()) << "n=" << n;
+    EXPECT_GT(plan.io.size(), 0u);
+  }
+}
+
+TEST(IoChiplets, ExtendedGraphIsConnectedAndPlanar) {
+  for (std::size_t n : {4u, 12u, 19u}) {
+    const auto plan = place_io_chiplets(make_brickwall(n), 4.38, 3.65, 1.0);
+    EXPECT_TRUE(hm::graph::is_connected(plan.extended)) << "n=" << n;
+    EXPECT_TRUE(hm::graph::satisfies_planar_bound(plan.extended));
+  }
+}
+
+TEST(IoChiplets, ExtendedGraphContainsComputeGraph) {
+  const auto arr = make_grid(9);
+  const auto plan = place_io_chiplets(arr, 3.0, 3.0, 1.0);
+  for (const auto& [a, b] : arr.graph().edges()) {
+    EXPECT_TRUE(plan.extended.has_edge(a, b));
+  }
+  EXPECT_EQ(plan.extended.node_count(),
+            arr.chiplet_count() + plan.io.size());
+}
+
+TEST(IoChiplets, EveryIoSlotIsAdjacentToItsChiplet) {
+  const auto arr = make_hexamesh(7);
+  const auto plan = place_io_chiplets(arr, 4.38, 3.65, 1.5);
+  const auto combined = plan.combined_placement();
+  for (std::size_t i = 0; i < plan.io.size(); ++i) {
+    const auto io_vertex =
+        static_cast<hm::graph::NodeId>(arr.chiplet_count() + i);
+    EXPECT_TRUE(plan.extended.has_edge(
+        io_vertex,
+        static_cast<hm::graph::NodeId>(plan.io[i].attached_chiplet)));
+    EXPECT_GT(combined.contact_length(plan.io[i].attached_chiplet,
+                                      arr.chiplet_count() + i),
+              0.0);
+  }
+}
+
+TEST(IoChiplets, MaxIoCapRespected) {
+  const auto plan = place_io_chiplets(make_grid(9), 3.0, 3.0, 1.5, 5);
+  EXPECT_EQ(plan.io.size(), 5u);
+}
+
+TEST(IoChiplets, InteriorChipletsGetNoIo) {
+  const auto arr = make_hexamesh_regular(2);  // 19 chiplets
+  const auto plan = place_io_chiplets(arr, 4.38, 3.65, 1.0);
+  // Chiplets 0..6 (center + first ring) are interior.
+  for (const auto& slot : plan.io) {
+    EXPECT_GE(slot.attached_chiplet, 7u);
+  }
+}
+
+TEST(IoChiplets, DeeperIoChipletsStillFit) {
+  const auto plan = place_io_chiplets(make_grid(4), 4.0, 4.0, 6.0);
+  EXPECT_TRUE(plan.combined_placement().is_overlap_free());
+  EXPECT_GT(plan.io.size(), 0u);
+}
+
+TEST(IoChiplets, InvalidInputsRejected) {
+  EXPECT_THROW((void)place_io_chiplets(make_grid(4), 4.0, 4.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)place_io_chiplets(make_honeycomb(9), 4.0, 4.0, 1.0),
+               std::logic_error);
+}
+
+TEST(IoChiplets, BrickwallStaircaseSidesAreRejected) {
+  // In a brickwall, partially covered sides must not spawn I/O chiplets
+  // that overlap the half-offset neighbours.
+  const auto plan = place_io_chiplets(make_brickwall(9), 4.0, 3.0, 1.0);
+  EXPECT_TRUE(plan.combined_placement().is_overlap_free());
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for the D2D link bandwidth model (Sec. V) with the paper's UCIe
+// parameters (Sec. VI-B), plus monotonicity and clamping properties.
+#include <gtest/gtest.h>
+
+#include "core/link_model.hpp"
+#include "core/shape.hpp"
+
+namespace {
+
+using namespace hm::core;
+
+TEST(LinkModel, PaperDefaultsAreUcieValues) {
+  EXPECT_DOUBLE_EQ(kDefaultTotalAreaMm2, 800.0);
+  EXPECT_DOUBLE_EQ(kDefaultPowerFraction, 0.4);
+  EXPECT_DOUBLE_EQ(kDefaultBumpPitchMm, 0.15);
+  EXPECT_EQ(kDefaultNonDataWires, 12);
+  EXPECT_DOUBLE_EQ(kDefaultFrequencyHz, 16e9);
+}
+
+TEST(LinkModel, BasicWireMath) {
+  // A_B = 1.6 mm^2 (the Sec. IV-B example chiplet), P_B = 0.15 mm:
+  // N_w = floor(1.6 / 0.0225) = 71, N_dw = 59, B = 59 * 16 GHz = 944 Gb/s.
+  LinkModelParams p;
+  p.link_area_mm2 = 1.6;
+  const LinkEstimate e = estimate_link(p);
+  EXPECT_EQ(e.total_wires, 71);
+  EXPECT_EQ(e.data_wires, 59);
+  EXPECT_DOUBLE_EQ(e.bandwidth_bps, 59.0 * 16e9);
+}
+
+TEST(LinkModel, GridChipletAt100Chiplets) {
+  // A_C = 8 mm^2 -> grid A_B = 0.6*8/4 = 1.2 mm^2 -> N_w = 53, N_dw = 41.
+  const ChipletShape s = solve_grid_shape({8.0, 0.4});
+  LinkModelParams p;
+  p.link_area_mm2 = s.link_sector_area;
+  const LinkEstimate e = estimate_link(p);
+  EXPECT_EQ(e.total_wires, 53);
+  EXPECT_EQ(e.data_wires, 41);
+  EXPECT_DOUBLE_EQ(e.bandwidth_bps, 41.0 * 16e9);
+}
+
+TEST(LinkModel, HexChipletHasFewerWiresPerLinkThanGrid) {
+  // Same chiplet area: 6 sectors instead of 4 -> lower per-link bandwidth
+  // (the effect the paper highlights in Sec. VI-C).
+  const double grid_ab = solve_grid_shape({8.0, 0.4}).link_sector_area;
+  const double hex_ab = solve_hex_shape({8.0, 0.4}).link_sector_area;
+  LinkModelParams pg, ph;
+  pg.link_area_mm2 = grid_ab;
+  ph.link_area_mm2 = hex_ab;
+  EXPECT_GT(estimate_link(pg).bandwidth_bps, estimate_link(ph).bandwidth_bps);
+  EXPECT_NEAR(grid_ab / hex_ab, 1.5, 1e-12);
+}
+
+TEST(LinkModel, MicroBumpsBeatC4Bumps) {
+  LinkModelParams c4, micro;
+  c4.link_area_mm2 = micro.link_area_mm2 = 1.0;
+  micro.bump_pitch_mm = kMicroBumpPitchMm;
+  EXPECT_GT(estimate_link(micro).bandwidth_bps,
+            estimate_link(c4).bandwidth_bps * 5.0);
+}
+
+TEST(LinkModel, NonDataWiresClampToZero) {
+  LinkModelParams p;
+  p.link_area_mm2 = 0.1;  // only 4 wires fit
+  p.non_data_wires = 12;
+  const LinkEstimate e = estimate_link(p);
+  EXPECT_EQ(e.total_wires, 4);
+  EXPECT_EQ(e.data_wires, 0);
+  EXPECT_DOUBLE_EQ(e.bandwidth_bps, 0.0);
+}
+
+TEST(LinkModel, MonotoneInArea) {
+  LinkModelParams a, b;
+  a.link_area_mm2 = 1.0;
+  b.link_area_mm2 = 2.0;
+  EXPECT_LE(estimate_link(a).bandwidth_bps, estimate_link(b).bandwidth_bps);
+}
+
+TEST(LinkModel, MonotoneInPitch) {
+  LinkModelParams a, b;
+  a.link_area_mm2 = b.link_area_mm2 = 1.0;
+  a.bump_pitch_mm = 0.15;
+  b.bump_pitch_mm = 0.20;
+  EXPECT_GE(estimate_link(a).bandwidth_bps, estimate_link(b).bandwidth_bps);
+}
+
+TEST(LinkModel, LinearInFrequency) {
+  LinkModelParams a, b;
+  a.link_area_mm2 = b.link_area_mm2 = 1.0;
+  b.frequency_hz = 2.0 * a.frequency_hz;
+  EXPECT_DOUBLE_EQ(estimate_link(b).bandwidth_bps,
+                   2.0 * estimate_link(a).bandwidth_bps);
+}
+
+TEST(LinkModel, WireCountIsFloored) {
+  LinkModelParams p;
+  p.bump_pitch_mm = 1.0;
+  p.link_area_mm2 = 3.999;
+  EXPECT_EQ(estimate_link(p).total_wires, 3);
+}
+
+TEST(LinkModel, InvalidParamsRejected) {
+  LinkModelParams p;
+  p.link_area_mm2 = 0.0;
+  EXPECT_THROW((void)estimate_link(p), std::invalid_argument);
+  p.link_area_mm2 = 1.0;
+  p.bump_pitch_mm = -0.1;
+  EXPECT_THROW((void)estimate_link(p), std::invalid_argument);
+  p.bump_pitch_mm = 0.15;
+  p.non_data_wires = -1;
+  EXPECT_THROW((void)estimate_link(p), std::invalid_argument);
+  p.non_data_wires = 12;
+  p.frequency_hz = 0.0;
+  EXPECT_THROW((void)estimate_link(p), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Unit tests for NoC internals: delay-line channels, endpoint source/sink
+// behaviour, router wiring validation, and routing-table edge cases that the
+// system-level tests do not isolate.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "noc/channel.hpp"
+#include "noc/endpoint.hpp"
+#include "noc/network.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+
+namespace {
+
+using hm::graph::Graph;
+using hm::noc::CreditChannel;
+using hm::noc::Endpoint;
+using hm::noc::Flit;
+using hm::noc::FlitChannel;
+using hm::noc::Packet;
+using hm::noc::Router;
+using hm::noc::RoutingTables;
+using hm::noc::SimConfig;
+
+// --- Channels ------------------------------------------------------------------
+
+TEST(FlitChannel, DeliversInFifoOrderAtArrivalTime) {
+  FlitChannel ch;
+  Flit a, b;
+  a.packet_id = 1;
+  b.packet_id = 2;
+  ch.push(a, 10);
+  ch.push(b, 12);
+  EXPECT_FALSE(ch.ready(9));
+  ASSERT_TRUE(ch.ready(10));
+  EXPECT_EQ(ch.pop().packet_id, 1u);
+  EXPECT_FALSE(ch.ready(11));
+  ASSERT_TRUE(ch.ready(12));
+  EXPECT_EQ(ch.pop().packet_id, 2u);
+  EXPECT_EQ(ch.in_flight(), 0u);
+}
+
+TEST(FlitChannel, InFlightCountsQueuedFlits) {
+  FlitChannel ch;
+  for (int i = 0; i < 5; ++i) ch.push(Flit{}, 100 + i);
+  EXPECT_EQ(ch.in_flight(), 5u);
+}
+
+TEST(CreditChannel, CarriesVcIds) {
+  CreditChannel ch;
+  ch.push(3, 5);
+  ch.push(7, 5);
+  ASSERT_TRUE(ch.ready(5));
+  EXPECT_EQ(ch.pop(), 3);
+  EXPECT_EQ(ch.pop(), 7);
+}
+
+TEST(CreditChannel, NotReadyBeforeArrival) {
+  CreditChannel ch;
+  ch.push(0, 42);
+  EXPECT_FALSE(ch.ready(41));
+  EXPECT_TRUE(ch.ready(42));
+  EXPECT_TRUE(ch.ready(43));
+}
+
+// --- Endpoint ------------------------------------------------------------------
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.packet_length = 3;
+  cfg.source_queue_capacity = 2;
+  return cfg;
+}
+
+TEST(Endpoint, InjectsHeadBodyTailInOrder) {
+  const SimConfig cfg = small_config();
+  Endpoint ep(0, cfg);
+  FlitChannel inj;
+  ep.wire_injection(&inj, 1);
+  Packet p;
+  p.id = 9;
+  p.src_endpoint = 0;
+  p.dst_endpoint = 5;
+  p.length = 3;
+  ASSERT_TRUE(ep.try_enqueue(p));
+  ep.inject(0);
+  ep.inject(1);
+  ep.receive_credit(0);  // free a buffer slot so the tail can follow
+  ep.inject(2);
+  ASSERT_EQ(inj.in_flight(), 3u);
+  const Flit head = inj.pop();
+  const Flit body = inj.pop();
+  const Flit tail = inj.pop();
+  EXPECT_TRUE(head.head);
+  EXPECT_FALSE(head.tail);
+  EXPECT_FALSE(body.head);
+  EXPECT_FALSE(body.tail);
+  EXPECT_TRUE(tail.tail);
+  EXPECT_EQ(head.vc, body.vc);
+  EXPECT_EQ(head.vc, tail.vc);
+  EXPECT_EQ(head.dst_router, 5 / cfg.endpoints_per_chiplet);
+}
+
+TEST(Endpoint, StallsWithoutCredits) {
+  const SimConfig cfg = small_config();  // 2 VCs x 2 credits
+  Endpoint ep(0, cfg);
+  FlitChannel inj;
+  ep.wire_injection(&inj, 1);
+  Packet p;
+  p.src_endpoint = 0;
+  p.dst_endpoint = 3;
+  p.length = 3;
+  ep.try_enqueue(p);
+  ep.try_enqueue(p);
+  for (hm::noc::Cycle t = 0; t < 10; ++t) ep.inject(t);
+  // Packet 1 uses VC0 (2 credits -> 2 flits then stall); it cannot finish,
+  // and packet 2 cannot start because only the active packet injects.
+  EXPECT_EQ(ep.flits_injected(), 2u);
+  ep.receive_credit(0);
+  ep.inject(11);
+  EXPECT_EQ(ep.flits_injected(), 3u);  // tail flows after the credit
+}
+
+TEST(Endpoint, PendingFlitsTracksPartialInjection) {
+  const SimConfig cfg = small_config();
+  Endpoint ep(0, cfg);
+  FlitChannel inj;
+  ep.wire_injection(&inj, 1);
+  Packet p;
+  p.src_endpoint = 0;
+  p.dst_endpoint = 3;
+  p.length = 3;
+  ep.try_enqueue(p);
+  EXPECT_EQ(ep.pending_flits(), 3u);
+  ep.inject(0);
+  EXPECT_EQ(ep.pending_flits(), 2u);
+}
+
+TEST(Endpoint, SinkCountsOnlyWindowedPackets) {
+  const SimConfig cfg = small_config();
+  Endpoint ep(4, cfg);
+  ep.set_measurement_window(100, 200);
+  Flit tail;
+  tail.dst_endpoint = 4;
+  tail.tail = true;
+  tail.gen_time = 50;  // before the window
+  ep.receive_flit(tail, 90);
+  tail.gen_time = 150;  // inside
+  ep.receive_flit(tail, 190);
+  EXPECT_EQ(ep.sink().packets_ejected, 2u);
+  EXPECT_EQ(ep.sink().tagged_packets, 1u);
+  EXPECT_EQ(ep.sink().tagged_latency_sum, 40u);
+}
+
+TEST(Endpoint, WiringValidation) {
+  Endpoint ep(0, small_config());
+  FlitChannel ch;
+  EXPECT_THROW(ep.wire_injection(nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(ep.wire_injection(&ch, 0), std::invalid_argument);
+}
+
+// --- Router wiring -------------------------------------------------------------
+
+TEST(Router, WiringValidation) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const RoutingTables tables(g);
+  SimConfig cfg;
+  Router r(0, cfg, &tables);
+  EXPECT_EQ(r.network_ports(), 1u);
+  EXPECT_EQ(r.total_ports(), 3u);  // 1 network + 2 endpoint ports
+  FlitChannel ch;
+  CreditChannel cr;
+  EXPECT_THROW(r.wire_output(9, &ch, 1), std::invalid_argument);
+  EXPECT_THROW(r.wire_output(0, nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(r.wire_credit_return(0, &cr, 0), std::invalid_argument);
+  EXPECT_NO_THROW(r.wire_output(0, &ch, 27));
+  EXPECT_NO_THROW(r.wire_credit_return(0, &cr, 27));
+}
+
+TEST(Router, InvariantsHoldWhenIdle) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const RoutingTables tables(g);
+  SimConfig cfg;
+  Router r(1, cfg, &tables);
+  std::string why;
+  EXPECT_TRUE(r.invariants_ok(&why)) << why;
+  EXPECT_EQ(r.buffered_flits(), 0u);
+}
+
+// --- Network construction edge cases --------------------------------------------
+
+TEST(Network, SingleChipletWorks) {
+  // One chiplet: no D2D links, local traffic between its two endpoints.
+  hm::noc::Network net(Graph(1), SimConfig{});
+  EXPECT_EQ(net.num_routers(), 1u);
+  EXPECT_EQ(net.num_endpoints(), 2u);
+  hm::noc::Rng rng(1);
+  Packet p;
+  p.src_endpoint = 0;
+  p.dst_endpoint = 1;
+  p.length = 4;
+  ASSERT_TRUE(net.endpoint(0).try_enqueue(p));
+  for (hm::noc::Cycle t = 0; t < 50; ++t) net.step(t, rng);
+  EXPECT_EQ(net.endpoint(1).sink().packets_ejected, 1u);
+}
+
+TEST(Network, RejectsTooManyEndpoints) {
+  SimConfig cfg;
+  cfg.endpoints_per_chiplet = 70000;
+  EXPECT_THROW(hm::noc::Network(Graph(2), cfg), std::invalid_argument);
+}
+
+TEST(Network, MoreEndpointsPerChiplet) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  SimConfig cfg;
+  cfg.endpoints_per_chiplet = 4;
+  hm::noc::Network net(g, cfg);
+  EXPECT_EQ(net.num_endpoints(), 8u);
+  hm::noc::Rng rng(1);
+  Packet p;
+  p.src_endpoint = 1;
+  p.dst_endpoint = 6;  // chiplet 1, local endpoint 2
+  p.length = 2;
+  ASSERT_TRUE(net.endpoint(1).try_enqueue(p));
+  for (hm::noc::Cycle t = 0; t < 100; ++t) net.step(t, rng);
+  EXPECT_EQ(net.endpoint(6).sink().packets_ejected, 1u);
+}
+
+// --- Routing tables edge cases ---------------------------------------------------
+
+TEST(RoutingTablesEdge, TwoNodeEscape) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const RoutingTables t(g);
+  const auto hop01 = t.escape_hop(0, 1, 0);
+  EXPECT_EQ(g.neighbors(0)[hop01.port], 1u);
+  const auto hop10 = t.escape_hop(1, 0, 0);
+  EXPECT_EQ(g.neighbors(1)[hop10.port], 0u);
+}
+
+TEST(RoutingTablesEdge, StarGraphRoutesThroughHub) {
+  Graph g(5);
+  for (hm::graph::NodeId leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
+  const RoutingTables t(g);
+  EXPECT_EQ(t.escape_root(), 0u);  // hub is the center
+  const auto& ports = t.minimal_ports(1, 2);
+  ASSERT_EQ(ports.size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[ports[0]], 0u);
+  EXPECT_EQ(t.distance(1, 2), 2);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Property tests for the NoC under stress: forward progress at full
+// injection (deadlock freedom via the escape network), conservation,
+// invariants, bisection-bound sanity of measured throughput, and latency
+// monotonicity in offered load.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/arrangement.hpp"
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/proxies.hpp"
+#include "graph/algorithms.hpp"
+#include "noc/simulator.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using hm::core::ArrangementType;
+using hm::core::make_arrangement;
+using hm::noc::RoutingMode;
+using hm::noc::SimConfig;
+using hm::noc::Simulator;
+
+class SaturationTest
+    : public ::testing::TestWithParam<std::tuple<ArrangementType, int>> {};
+
+TEST_P(SaturationTest, FullInjectionMakesForwardProgress) {
+  const auto [type, n] = GetParam();
+  const auto arr = make_arrangement(type, static_cast<std::size_t>(n));
+  SimConfig cfg;
+  cfg.seed = 9;
+  Simulator sim(arr.graph(), cfg);
+  const auto result = sim.run_throughput(1.0, 3000, 3000);
+  // Deadlock would show up as (near-)zero accepted throughput.
+  EXPECT_GT(result.accepted_flit_rate, 0.01) << arr.name();
+  EXPECT_LE(result.accepted_flit_rate, 1.0);
+  std::string why;
+  EXPECT_TRUE(sim.network().invariants_ok(&why)) << why;
+}
+
+TEST_P(SaturationTest, ThroughputRespectsBisectionBound) {
+  // Uniform traffic channel-load bound: flits from endpoint half A to half B
+  // (rate lambda * |A| * |B| / (T-1) per cycle) must fit through the `cut`
+  // directed channels of the bisection, so
+  //   lambda <= cut * (T-1) / (|A| * |B|).
+  const auto [type, n] = GetParam();
+  const auto arr = make_arrangement(type, static_cast<std::size_t>(n));
+  if (arr.chiplet_count() < 9) GTEST_SKIP() << "bound too loose for tiny N";
+  SimConfig cfg;
+  cfg.seed = 10;
+  Simulator sim(arr.graph(), cfg);
+  const auto result = sim.run_throughput(1.0, 4000, 4000);
+  const auto bisection = hm::partition::bisect(arr.graph());
+  const double cut = static_cast<double>(bisection.cut_edges);
+  const double total = static_cast<double>(2 * arr.chiplet_count());
+  const double half_a = static_cast<double>(2 * bisection.part_sizes[0]);
+  const double half_b = static_cast<double>(2 * bisection.part_sizes[1]);
+  const double bound = cut * (total - 1.0) / (half_a * half_b);
+  // 1.1 slack: finite measurement windows drain warmup-buffered flits.
+  EXPECT_LE(result.accepted_flit_rate, std::min(1.0, bound) * 1.1)
+      << arr.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arrangements, SaturationTest,
+    ::testing::Combine(::testing::Values(ArrangementType::kGrid,
+                                         ArrangementType::kBrickwall,
+                                         ArrangementType::kHexaMesh),
+                       ::testing::Values(4, 9, 13, 19, 25)),
+    [](const auto& info) {
+      return hm::core::to_string(std::get<0>(info.param)) + "_N" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Deadlock, UpDownOnlyModeAlsoProgresses) {
+  const auto arr = hm::core::make_hexamesh(19);
+  SimConfig cfg;
+  cfg.routing = RoutingMode::kUpDownOnly;
+  Simulator sim(arr.graph(), cfg);
+  const auto result = sim.run_throughput(1.0, 3000, 3000);
+  EXPECT_GT(result.accepted_flit_rate, 0.01);
+}
+
+TEST(Deadlock, SingleVcEscapeOnlyProgresses) {
+  // With one VC, all packets ride the escape network; progress must hold.
+  const auto arr = hm::core::make_grid(16);
+  SimConfig cfg;
+  cfg.vcs = 1;
+  cfg.buffer_depth = 4;
+  Simulator sim(arr.graph(), cfg);
+  const auto result = sim.run_throughput(1.0, 3000, 3000);
+  EXPECT_GT(result.accepted_flit_rate, 0.005);
+}
+
+TEST(Deadlock, LongSaturationRunStaysLive) {
+  const auto arr = hm::core::make_hexamesh(37);
+  SimConfig cfg;
+  cfg.seed = 77;
+  Simulator sim(arr.graph(), cfg);
+  const auto first = sim.run_throughput(1.0, 5000, 5000);
+  // Continue measuring on the same (already saturated) network.
+  const auto second = sim.run_throughput(1.0, 0, 5000);
+  EXPECT_GT(second.accepted_flit_rate, 0.5 * first.accepted_flit_rate);
+}
+
+TEST(Latency, MonotoneInOfferedLoad) {
+  const auto arr = hm::core::make_grid(16);
+  SimConfig cfg;
+  Simulator low(arr.graph(), cfg);
+  Simulator mid(arr.graph(), cfg);
+  const double lat_low = low.run_latency(0.01, 1000, 4000).avg_packet_latency;
+  const double lat_mid = mid.run_latency(0.06, 1000, 4000).avg_packet_latency;
+  EXPECT_LT(lat_low, lat_mid * 1.02);  // small slack for sampling noise
+}
+
+TEST(Latency, ZeroLoadTracksAverageHopDistance) {
+  // Zero-load latency ~= hops * (router + link latency) + constant; check
+  // within 15% using the analytic per-hop cost.
+  const auto arr = hm::core::make_hexamesh(19);
+  SimConfig cfg;
+  Simulator sim(arr.graph(), cfg);
+  const auto result = sim.run_latency(0.01, 1000, 6000);
+  ASSERT_TRUE(result.drained);
+
+  // Average router-to-router hops for uniform endpoint traffic: weight 0-hop
+  // (same chiplet) pairs too.
+  const auto& g = arr.graph();
+  const double n = static_cast<double>(g.node_count());
+  double total = 0.0;
+  for (hm::graph::NodeId u = 0; u < g.node_count(); ++u) {
+    for (hm::graph::NodeId v = 0; v < g.node_count(); ++v) {
+      // endpoint pairs per router pair: 2x2, minus self pairs handled below
+      total += hm::graph::bfs_distances(g, u)[v];
+    }
+  }
+  // 4 endpoint pairs per (u,v); self-traffic excluded: 2 same-chiplet pairs
+  // per router have distance 0 anyway.
+  const double pairs = 4.0 * n * n - 2.0 * n;
+  const double avg_hops = 4.0 * total / pairs;
+  const double per_hop = cfg.router_latency + cfg.link_latency;
+  const double predicted = 1.0 + avg_hops * per_hop + cfg.router_latency +
+                           cfg.ejection_link_latency +
+                           (cfg.packet_length - 1);
+  EXPECT_NEAR(result.avg_packet_latency, predicted, 0.15 * predicted);
+}
+
+TEST(Throughput, HigherVcCountHelpsUnderLongLinks) {
+  // Credit round-trip (2*27+) far exceeds the 8-flit buffer, so a single VC
+  // cannot keep a link busy; more VCs must increase accepted throughput.
+  const auto arr = hm::core::make_grid(9);
+  SimConfig one;
+  one.vcs = 2;
+  SimConfig eight;
+  eight.vcs = 8;
+  Simulator s1(arr.graph(), one);
+  Simulator s8(arr.graph(), eight);
+  const double t1 = s1.run_throughput(1.0, 3000, 3000).accepted_flit_rate;
+  const double t8 = s8.run_throughput(1.0, 3000, 3000).accepted_flit_rate;
+  EXPECT_GT(t8, t1);
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalResults) {
+  const auto arr = hm::core::make_brickwall(16);
+  SimConfig cfg;
+  cfg.seed = 123;
+  Simulator a(arr.graph(), cfg);
+  Simulator b(arr.graph(), cfg);
+  const auto ra = a.run_throughput(1.0, 2000, 2000);
+  const auto rb = b.run_throughput(1.0, 2000, 2000);
+  EXPECT_DOUBLE_EQ(ra.accepted_flit_rate, rb.accepted_flit_rate);
+}
+
+TEST(Determinism, DifferentSeedsSimilarThroughput) {
+  const auto arr = hm::core::make_grid(16);
+  SimConfig a;
+  a.seed = 1;
+  SimConfig b;
+  b.seed = 2;
+  Simulator sa(arr.graph(), a);
+  Simulator sb(arr.graph(), b);
+  const double ta = sa.run_throughput(1.0, 4000, 4000).accepted_flit_rate;
+  const double tb = sb.run_throughput(1.0, 4000, 4000).accepted_flit_rate;
+  EXPECT_NEAR(ta, tb, 0.15 * std::max(ta, tb));
+}
+
+}  // namespace

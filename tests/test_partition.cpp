@@ -1,0 +1,174 @@
+// Tests for the balanced bisection (METIS stand-in): exact optima on known
+// graphs, balance constraints, determinism, and agreement with the paper's
+// closed-form bisection widths on regular arrangements.
+#include <gtest/gtest.h>
+
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/proxies.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using hm::graph::Graph;
+using hm::graph::NodeId;
+using hm::partition::bisect;
+using hm::partition::BisectionOptions;
+using hm::partition::bisection_width;
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g = path_graph(n);
+  g.add_edge(0, static_cast<NodeId>(n - 1));
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+TEST(Bisect, TrivialGraphs) {
+  EXPECT_EQ(bisection_width(Graph(0)), 0u);
+  EXPECT_EQ(bisection_width(Graph(1)), 0u);
+  Graph two(2);
+  two.add_edge(0, 1);
+  EXPECT_EQ(bisection_width(two), 1u);
+}
+
+TEST(Bisect, PathHasCutOne) {
+  EXPECT_EQ(bisection_width(path_graph(8)), 1u);
+  EXPECT_EQ(bisection_width(path_graph(9)), 1u);
+}
+
+TEST(Bisect, CycleHasCutTwo) {
+  EXPECT_EQ(bisection_width(cycle_graph(8)), 2u);
+  EXPECT_EQ(bisection_width(cycle_graph(13)), 2u);
+}
+
+TEST(Bisect, CompleteGraphCut) {
+  // K6 split 3/3: cut = 3*3 = 9.
+  EXPECT_EQ(bisection_width(complete_graph(6)), 9u);
+  // K5 split 2/3: cut = 2*3 = 6.
+  EXPECT_EQ(bisection_width(complete_graph(5)), 6u);
+}
+
+TEST(Bisect, DisconnectedGraphHasZeroCut) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  EXPECT_EQ(bisection_width(g), 0u);
+}
+
+TEST(Bisect, BalanceRespectedEvenN) {
+  const auto result = bisect(cycle_graph(10));
+  EXPECT_EQ(result.part_sizes[0], 5u);
+  EXPECT_EQ(result.part_sizes[1], 5u);
+}
+
+TEST(Bisect, BalanceRespectedOddN) {
+  const auto result = bisect(cycle_graph(11));
+  const auto big = std::max(result.part_sizes[0], result.part_sizes[1]);
+  const auto small = std::min(result.part_sizes[0], result.part_sizes[1]);
+  EXPECT_EQ(big, 6u);
+  EXPECT_EQ(small, 5u);
+}
+
+TEST(Bisect, SideAssignmentMatchesCut) {
+  Graph g = cycle_graph(12);
+  const auto result = bisect(g);
+  std::size_t crossing = 0;
+  for (const auto& [a, b] : g.edges()) {
+    if (result.side[a] != result.side[b]) ++crossing;
+  }
+  EXPECT_EQ(crossing, result.cut_edges);
+}
+
+TEST(Bisect, DeterministicForFixedSeed) {
+  Graph g = cycle_graph(20);
+  BisectionOptions opts;
+  opts.seed = 7;
+  const auto a = bisect(g, opts);
+  const auto b = bisect(g, opts);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+TEST(Bisect, ExtraImbalanceAllowsLooserParts) {
+  BisectionOptions opts;
+  opts.extra_imbalance = 2;
+  const auto result = bisect(path_graph(9), opts);
+  const auto big = std::max(result.part_sizes[0], result.part_sizes[1]);
+  EXPECT_LE(big, 7u);
+  EXPECT_EQ(result.cut_edges, 1u);
+}
+
+TEST(Bisect, SingleLevelModeAlsoWorks) {
+  BisectionOptions opts;
+  opts.multilevel = false;
+  EXPECT_EQ(bisection_width(cycle_graph(16), opts), 2u);
+}
+
+// --- Agreement with the paper's closed forms on regular arrangements --------
+
+TEST(BisectVsFormula, RegularGridEvenSide) {
+  // sqrt(N) even: a straight cut across the middle is balanced and optimal.
+  for (std::size_t side : {2u, 4u, 6u, 8u}) {
+    const auto arr = hm::core::make_grid_regular(side);
+    EXPECT_EQ(bisection_width(arr.graph()), side)
+        << "grid side=" << side;
+  }
+}
+
+TEST(BisectVsFormula, RegularBrickwallEvenSide) {
+  // B_BW(N) = 2*sqrt(N) - 1.
+  for (std::size_t side : {2u, 4u, 6u, 8u}) {
+    const auto arr = hm::core::make_brickwall_regular(side);
+    EXPECT_EQ(bisection_width(arr.graph()), 2 * side - 1)
+        << "brickwall side=" << side;
+  }
+}
+
+TEST(BisectVsFormula, RegularHexamesh) {
+  // B_HM(N) = (2/3)sqrt(12N-3) - 1 = 4r + 1 for N = 1 + 3r(r+1).
+  for (std::size_t rings : {1u, 2u, 3u, 4u}) {
+    const auto arr = hm::core::make_hexamesh_regular(rings);
+    const auto expected = static_cast<std::size_t>(hm::core::hexamesh_bisection(
+        arr.chiplet_count()));
+    EXPECT_EQ(bisection_width(arr.graph()), expected)
+        << "hexamesh rings=" << rings;
+  }
+}
+
+TEST(BisectVsFormula, HeuristicNeverBeatsOptimalOnOddGrid) {
+  // For odd sides the closed form describes an unbalanced straight cut; the
+  // balanced heuristic cut can only be >= that.
+  for (std::size_t side : {3u, 5u, 7u}) {
+    const auto arr = hm::core::make_grid_regular(side);
+    EXPECT_GE(bisection_width(arr.graph()), side);
+  }
+}
+
+TEST(Bisect, MoreStartsNeverWorse) {
+  const auto arr = hm::core::make_hexamesh(50);
+  BisectionOptions few;
+  few.num_starts = 1;
+  BisectionOptions many;
+  many.num_starts = 16;
+  EXPECT_LE(bisection_width(arr.graph(), many),
+            bisection_width(arr.graph(), few));
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the closed-form proxies of Sec. IV-D: the formulas must agree
+// with BFS-computed diameters on regular arrangements, and the asymptotic
+// ratios must match the paper's headline claims (-42% diameter, +130%
+// bisection bandwidth).
+#include <gtest/gtest.h>
+
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "core/proxies.hpp"
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using namespace hm::core;
+
+TEST(Proxies, GridDiameterFormulaMatchesBfs) {
+  for (std::size_t side = 2; side <= 10; ++side) {
+    const auto arr = make_grid_regular(side);
+    EXPECT_DOUBLE_EQ(grid_diameter(arr.chiplet_count()),
+                     hm::graph::diameter(arr.graph()))
+        << "side=" << side;
+  }
+}
+
+TEST(Proxies, BrickwallDiameterFormulaMatchesBfs) {
+  for (std::size_t side = 2; side <= 10; ++side) {
+    const auto arr = make_brickwall_regular(side);
+    EXPECT_DOUBLE_EQ(brickwall_diameter(arr.chiplet_count()),
+                     hm::graph::diameter(arr.graph()))
+        << "side=" << side;
+  }
+}
+
+TEST(Proxies, HexameshDiameterFormulaMatchesBfs) {
+  for (std::size_t rings = 1; rings <= 6; ++rings) {
+    const auto arr = make_hexamesh_regular(rings);
+    EXPECT_NEAR(hexamesh_diameter(arr.chiplet_count()),
+                hm::graph::diameter(arr.graph()), 1e-9)
+        << "rings=" << rings;
+  }
+}
+
+TEST(Proxies, HexameshBisectionIsFourRPlusOne) {
+  for (std::size_t r = 1; r <= 5; ++r) {
+    const std::size_t n = hexamesh_chiplet_count(r);
+    EXPECT_NEAR(hexamesh_bisection(n), 4.0 * static_cast<double>(r) + 1.0,
+                1e-9);
+  }
+}
+
+TEST(Proxies, GridBisectionIsSqrtN) {
+  EXPECT_DOUBLE_EQ(grid_bisection(100), 10.0);
+  EXPECT_DOUBLE_EQ(grid_bisection(64), 8.0);
+}
+
+TEST(Proxies, BrickwallBisection) {
+  EXPECT_DOUBLE_EQ(brickwall_bisection(100), 19.0);
+}
+
+TEST(Proxies, OrderingGridLtBrickwallLtHexamesh) {
+  // For every N, diameter: HM < BW < G; bisection: HM > BW > G.
+  for (std::size_t n : {25u, 49u, 64u, 100u}) {
+    EXPECT_LT(hexamesh_diameter(n), brickwall_diameter(n));
+    EXPECT_LT(brickwall_diameter(n), grid_diameter(n));
+    EXPECT_GT(hexamesh_bisection(n), brickwall_bisection(n));
+    EXPECT_GT(brickwall_bisection(n), grid_bisection(n));
+  }
+}
+
+TEST(Proxies, AsymptoticDiameterRatios) {
+  EXPECT_DOUBLE_EQ(asymptotic_diameter_ratio_bw(), 0.75);
+  EXPECT_NEAR(asymptotic_diameter_ratio_hm(), 0.5774, 1e-4);
+  // The abstract's "-42%" claim.
+  EXPECT_NEAR(1.0 - asymptotic_diameter_ratio_hm(), 0.42, 0.005);
+}
+
+TEST(Proxies, AsymptoticBisectionRatios) {
+  EXPECT_DOUBLE_EQ(asymptotic_bisection_ratio_bw(), 2.0);
+  // The abstract's "+130%" claim (4/sqrt(3) = 2.309...).
+  EXPECT_NEAR(asymptotic_bisection_ratio_hm() - 1.0, 1.30, 0.01);
+}
+
+TEST(Proxies, RatiosConvergeToAsymptotes) {
+  // The -1/-2 terms vanish as O(1/sqrt(N)); at N = 10^6 the ratios are
+  // within ~2e-3 of their limits.
+  const std::size_t big = 1000000;
+  EXPECT_NEAR(brickwall_diameter(big) / grid_diameter(big),
+              asymptotic_diameter_ratio_bw(), 5e-3);
+  EXPECT_NEAR(hexamesh_diameter(big) / grid_diameter(big),
+              asymptotic_diameter_ratio_hm(), 5e-3);
+  EXPECT_NEAR(brickwall_bisection(big) / grid_bisection(big),
+              asymptotic_bisection_ratio_bw(), 5e-3);
+  EXPECT_NEAR(hexamesh_bisection(big) / grid_bisection(big),
+              asymptotic_bisection_ratio_hm(), 5e-3);
+}
+
+TEST(Proxies, DispatchMatchesSpecificFormulas) {
+  EXPECT_DOUBLE_EQ(analytic_diameter(ArrangementType::kGrid, 49),
+                   grid_diameter(49));
+  EXPECT_DOUBLE_EQ(analytic_diameter(ArrangementType::kHoneycomb, 49),
+                   brickwall_diameter(49));
+  EXPECT_DOUBLE_EQ(analytic_bisection(ArrangementType::kHexaMesh, 37),
+                   hexamesh_bisection(37));
+}
+
+TEST(Proxies, MaxAvgNeighborsBound) {
+  EXPECT_NEAR(max_avg_neighbors(12), 5.0, 1e-12);
+  // Honeycomb/brickwall approaches 6 from below.
+  const auto arr = make_brickwall_regular(12);
+  EXPECT_LT(arr.neighbor_stats().avg, max_avg_neighbors(144));
+}
+
+TEST(Proxies, InvalidNRejected) {
+  EXPECT_THROW((void)grid_diameter(0), std::invalid_argument);
+  EXPECT_THROW((void)hexamesh_bisection(0), std::invalid_argument);
+}
+
+}  // namespace

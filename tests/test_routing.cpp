@@ -1,0 +1,178 @@
+// Tests for the routing tables: minimal next hops lie on shortest paths, and
+// the up*/down* escape routing terminates for every (src, dst) pair, never
+// ascends after descending (the deadlock-freedom invariant) and keeps paths
+// reasonably short.
+#include <gtest/gtest.h>
+
+#include "core/brickwall.hpp"
+#include "core/grid.hpp"
+#include "core/hexamesh.hpp"
+#include "graph/algorithms.hpp"
+#include "noc/routing.hpp"
+
+namespace {
+
+using hm::graph::Graph;
+using hm::graph::NodeId;
+using hm::noc::EscapeHop;
+using hm::noc::RoutingTables;
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(RoutingTables, RejectsDisconnectedAndEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(RoutingTables{g}, std::invalid_argument);
+  EXPECT_THROW(RoutingTables{Graph(0)}, std::invalid_argument);
+}
+
+TEST(RoutingTables, SingleVertexGraphIsFine) {
+  const RoutingTables t{Graph(1)};
+  EXPECT_EQ(t.num_ports(0), 0u);
+}
+
+TEST(RoutingTables, DistancesMatchBfs) {
+  const auto arr = hm::core::make_hexamesh(19);
+  const RoutingTables t(arr.graph());
+  for (NodeId v = 0; v < arr.graph().node_count(); ++v) {
+    const auto dist = hm::graph::bfs_distances(arr.graph(), v);
+    for (NodeId u = 0; u < arr.graph().node_count(); ++u) {
+      EXPECT_EQ(t.distance(v, u), dist[u]);
+    }
+  }
+}
+
+TEST(RoutingTables, MinimalPortsDecreaseDistance) {
+  const auto arr = hm::core::make_grid(16);
+  const Graph& g = arr.graph();
+  const RoutingTables t(g);
+  for (NodeId cur = 0; cur < g.node_count(); ++cur) {
+    const auto nbrs = g.neighbors(cur);
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      if (cur == dst) continue;
+      const auto& ports = t.minimal_ports(cur, dst);
+      ASSERT_FALSE(ports.empty()) << "no minimal port " << cur << "->" << dst;
+      for (auto p : ports) {
+        EXPECT_EQ(t.distance(nbrs[p], dst), t.distance(cur, dst) - 1);
+      }
+    }
+  }
+}
+
+TEST(RoutingTables, MinimalPortsAreExhaustive) {
+  const auto arr = hm::core::make_brickwall(25);
+  const Graph& g = arr.graph();
+  const RoutingTables t(g);
+  for (NodeId cur = 0; cur < g.node_count(); ++cur) {
+    const auto nbrs = g.neighbors(cur);
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      if (cur == dst) continue;
+      std::size_t count = 0;
+      for (std::size_t p = 0; p < nbrs.size(); ++p) {
+        if (t.distance(nbrs[p], dst) == t.distance(cur, dst) - 1) ++count;
+      }
+      EXPECT_EQ(t.minimal_ports(cur, dst).size(), count);
+    }
+  }
+}
+
+TEST(RoutingTables, PathGraphMinimalRouting) {
+  const Graph g = path_graph(5);
+  const RoutingTables t(g);
+  // From node 1 toward node 4 the only minimal port leads to node 2.
+  const auto& ports = t.minimal_ports(1, 4);
+  ASSERT_EQ(ports.size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[ports[0]], 2u);
+}
+
+/// Follows escape hops from src (phase 0) to dst; returns hop count and
+/// verifies the up-then-down discipline. Fails the test on any violation.
+int follow_escape(const Graph& g, const RoutingTables& t, NodeId src,
+                  NodeId dst) {
+  NodeId cur = src;
+  std::uint8_t phase = 0;
+  int hops = 0;
+  const int limit = 4 * static_cast<int>(g.node_count());
+  while (cur != dst) {
+    const EscapeHop hop = t.escape_hop(cur, dst, phase);
+    const NodeId next = g.neighbors(cur)[hop.port];
+    // Deadlock-freedom invariant: phase never goes 1 -> 0.
+    EXPECT_GE(hop.next_phase, phase) << src << "->" << dst << " at " << cur;
+    cur = next;
+    phase = hop.next_phase;
+    if (++hops > limit) {
+      ADD_FAILURE() << "escape routing loop " << src << "->" << dst;
+      return hops;
+    }
+  }
+  return hops;
+}
+
+class EscapeRoutingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EscapeRoutingTest, TerminatesForAllPairsOnAllArrangements) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  for (const auto& arr :
+       {hm::core::make_grid(n), hm::core::make_brickwall(n),
+        hm::core::make_hexamesh(n)}) {
+    const Graph& g = arr.graph();
+    const RoutingTables t(g);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId d = 0; d < g.node_count(); ++d) {
+        if (s == d) continue;
+        const int hops = follow_escape(g, t, s, d);
+        // An up*/down* path is at most up-to-root + down-from-root.
+        EXPECT_LE(hops, 2 * hm::graph::diameter(g) + 2)
+            << arr.name() << " " << s << "->" << d;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EscapeRoutingTest,
+                         ::testing::Values(2, 5, 9, 16, 25, 37, 50),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(EscapeRouting, PathsAreNearMinimalOnHexamesh) {
+  // On the radius-3 HexaMesh, escape paths should average well under 2x the
+  // shortest distance (the tree root sits at the center).
+  const auto arr = hm::core::make_hexamesh(37);
+  const Graph& g = arr.graph();
+  const RoutingTables t(g);
+  double total_escape = 0.0, total_min = 0.0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId d = 0; d < g.node_count(); ++d) {
+      if (s == d) continue;
+      total_escape += follow_escape(g, t, s, d);
+      total_min += t.distance(s, d);
+    }
+  }
+  EXPECT_LT(total_escape / total_min, 1.6);
+}
+
+TEST(EscapeRouting, RootIsGraphCenter) {
+  const auto arr = hm::core::make_hexamesh_regular(2);
+  const RoutingTables t(arr.graph());
+  EXPECT_EQ(t.escape_root(), 0u);  // id 0 is the central chiplet
+}
+
+TEST(EscapeRouting, UpHopsNeverFollowDownHops) {
+  // Stronger check on a semi-regular grid: enumerate full escape paths and
+  // assert monotone phase.
+  const auto arr = hm::core::make_grid(12);
+  const Graph& g = arr.graph();
+  const RoutingTables t(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId d = 0; d < g.node_count(); ++d) {
+      if (s != d) follow_escape(g, t, s, d);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Tests for the chiplet shape solver (Sec. IV-B), including the paper's
+// worked example (A_C = 16 mm^2, p_p = 0.4 -> W_C = 4.38, H_C = 3.65,
+// D_B = 0.73) and property sweeps over the system of equations (1)-(5).
+#include <gtest/gtest.h>
+
+#include "core/shape.hpp"
+#include "geometry/bump_layout.hpp"
+
+namespace {
+
+using namespace hm::core;
+
+// --- Paper worked example ----------------------------------------------------
+
+TEST(HexShape, PaperWorkedExample) {
+  const ShapeParams p{16.0, 0.4};
+  const ChipletShape s = solve_hex_shape(p);
+  EXPECT_NEAR(s.width, 4.38, 0.005);             // W_C = 4.38 mm
+  EXPECT_NEAR(s.height, 3.65, 0.005);            // H_C = 3.65 mm
+  EXPECT_NEAR(s.bump_edge_distance, 0.73, 0.005);  // D_B = 0.73 mm
+}
+
+TEST(HexShape, PaperExampleDerivedQuantities) {
+  const ShapeParams p{16.0, 0.4};
+  const ChipletShape s = solve_hex_shape(p);
+  EXPECT_NEAR(s.link_sector_area, 0.6 * 16.0 / 6.0, 1e-12);  // A_B = 1.6
+  EXPECT_NEAR(s.power_width * s.power_height, 0.4 * 16.0, 1e-9);  // eq (5)
+  EXPECT_EQ(s.link_sectors, 6);
+}
+
+// --- Grid shape --------------------------------------------------------------
+
+TEST(GridShape, SquareChiplet) {
+  const ShapeParams p{16.0, 0.4};
+  const ChipletShape s = solve_grid_shape(p);
+  EXPECT_DOUBLE_EQ(s.width, 4.0);
+  EXPECT_DOUBLE_EQ(s.height, 4.0);
+  EXPECT_EQ(s.link_sectors, 4);
+}
+
+TEST(GridShape, PowerSquareAndSectors) {
+  const ShapeParams p{16.0, 0.25};
+  const ChipletShape s = solve_grid_shape(p);
+  EXPECT_DOUBLE_EQ(s.power_width, 2.0);  // sqrt(0.25*16)
+  EXPECT_DOUBLE_EQ(s.link_sector_area, 0.75 * 16.0 / 4.0);
+  EXPECT_DOUBLE_EQ(s.bump_edge_distance, 1.0);  // (4-2)/2
+}
+
+TEST(GridShape, ZeroPowerFraction) {
+  const ShapeParams p{4.0, 0.0};
+  const ChipletShape s = solve_grid_shape(p);
+  EXPECT_DOUBLE_EQ(s.power_width, 0.0);
+  EXPECT_DOUBLE_EQ(s.bump_edge_distance, 1.0);  // half the chiplet
+}
+
+// --- Property sweeps over the system of equations ---------------------------
+
+class HexShapeSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(HexShapeSweep, EquationsSatisfied) {
+  const auto [area, pp] = GetParam();
+  const ShapeParams p{area, pp};
+  const ChipletShape s = solve_hex_shape(p);
+  EXPECT_LT(hex_shape_residual(s, p), 1e-9 * area);
+}
+
+TEST_P(HexShapeSweep, AreasAreConsistent) {
+  const auto [area, pp] = GetParam();
+  const ChipletShape s = solve_hex_shape({area, pp});
+  // 6 link sectors + power sector tile the chiplet.
+  EXPECT_NEAR(6.0 * s.link_sector_area + pp * area, area, 1e-9 * area);
+  EXPECT_NEAR(s.width * s.height, area, 1e-9 * area);
+}
+
+TEST_P(HexShapeSweep, DimensionsPositiveAndLayoutValid) {
+  const auto [area, pp] = GetParam();
+  const ChipletShape s = solve_hex_shape({area, pp});
+  EXPECT_GT(s.width, 0.0);
+  EXPECT_GT(s.height, 0.0);
+  EXPECT_GT(s.bump_edge_distance, 0.0);
+  // W_C^2 = A_C (2+4pp)/3, so chiplets are wider than tall iff pp >= 1/4
+  // (the paper's example uses pp = 0.4 -> 4.38 x 3.65).
+  if (pp >= 0.25) {
+    EXPECT_GE(s.width, s.height);
+  } else {
+    EXPECT_LE(s.width, s.height);
+  }
+  const auto sectors = bump_sectors(s);
+  EXPECT_EQ(sectors.size(), 7u);
+}
+
+TEST_P(HexShapeSweep, BumpLayoutSectorsMatchSolvedAreas) {
+  const auto [area, pp] = GetParam();
+  const ChipletShape s = solve_hex_shape({area, pp});
+  for (const auto& sector : bump_sectors(s)) {
+    if (sector.role == hm::geom::SectorRole::kPower) {
+      EXPECT_NEAR(sector.area(), pp * area, 1e-7 * area);
+    } else {
+      EXPECT_NEAR(sector.area(), s.link_sector_area, 1e-7 * area);
+      EXPECT_NEAR(
+          hm::geom::max_bump_to_edge_distance(sector, s.width, s.height),
+          s.bump_edge_distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, HexShapeSweep,
+    ::testing::Combine(::testing::Values(1.0, 4.0, 8.0, 16.0, 80.0, 400.0),
+                       ::testing::Values(0.1, 0.25, 0.4, 0.6, 0.8)),
+    [](const auto& info) {
+      return "A" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_pp" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+class GridShapeSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GridShapeSweep, SectorsTileChiplet) {
+  const auto [area, pp] = GetParam();
+  const ChipletShape s = solve_grid_shape({area, pp});
+  EXPECT_NEAR(4.0 * s.link_sector_area + pp * area, area, 1e-9 * area);
+  if (pp > 0.0) {
+    for (const auto& sector : bump_sectors(s)) {
+      if (sector.role == hm::geom::SectorRole::kPower) {
+        EXPECT_NEAR(sector.area(), pp * area, 1e-7 * area);
+      } else {
+        EXPECT_NEAR(sector.area(), s.link_sector_area, 1e-7 * area);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, GridShapeSweep,
+    ::testing::Combine(::testing::Values(1.0, 16.0, 100.0, 400.0),
+                       ::testing::Values(0.1, 0.4, 0.7)),
+    [](const auto& info) {
+      return "A" + std::to_string(static_cast<int>(std::get<0>(info.param))) +
+             "_pp" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// --- Dispatch & validation ----------------------------------------------------
+
+TEST(SolveShape, DispatchPerType) {
+  const ShapeParams p{16.0, 0.4};
+  EXPECT_EQ(solve_shape(ArrangementType::kGrid, p).link_sectors, 4);
+  EXPECT_EQ(solve_shape(ArrangementType::kBrickwall, p).link_sectors, 6);
+  EXPECT_EQ(solve_shape(ArrangementType::kHexaMesh, p).link_sectors, 6);
+  EXPECT_THROW((void)solve_shape(ArrangementType::kHoneycomb, p),
+               std::invalid_argument);
+}
+
+TEST(SolveShape, InvalidParamsRejected) {
+  EXPECT_THROW((void)solve_hex_shape({-1.0, 0.4}), std::invalid_argument);
+  EXPECT_THROW((void)solve_hex_shape({16.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)solve_hex_shape({16.0, -0.1}), std::invalid_argument);
+}
+
+TEST(SolveShape, HexShapeDbShrinksWithPowerFraction) {
+  // More power bumps -> wider power sector -> smaller D_B.
+  const double db_low = solve_hex_shape({16.0, 0.1}).bump_edge_distance;
+  const double db_high = solve_hex_shape({16.0, 0.7}).bump_edge_distance;
+  EXPECT_GT(db_low, db_high);
+}
+
+TEST(SolveShape, LinkAreaScalesWithChipletArea) {
+  const double a1 = solve_hex_shape({8.0, 0.4}).link_sector_area;
+  const double a2 = solve_hex_shape({16.0, 0.4}).link_sector_area;
+  EXPECT_NEAR(a2 / a1, 2.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Tests for the statistics helpers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "noc/stats.hpp"
+
+namespace {
+
+using hm::noc::Accumulator;
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, TracksMeanMinMax) {
+  Accumulator a;
+  a.add(2.0);
+  a.add(8.0);
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(-3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(a.min(), -3.5);
+  EXPECT_DOUBLE_EQ(a.max(), -3.5);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(hm::noc::percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(hm::noc::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(hm::noc::percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, NearestRankBehaviour) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(hm::noc::percentile(v, 25), 10.0);
+  EXPECT_DOUBLE_EQ(hm::noc::percentile(v, 26), 20.0);
+  EXPECT_DOUBLE_EQ(hm::noc::percentile(v, 75), 30.0);
+}
+
+TEST(Percentile, InvalidInputsRejected) {
+  EXPECT_THROW((void)hm::noc::percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)hm::noc::percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW((void)hm::noc::percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(hm::noc::mean({1, 2, 3, 4}), 2.5);
+  EXPECT_THROW((void)hm::noc::mean({}), std::invalid_argument);
+}
+
+TEST(Geomean, Basic) {
+  EXPECT_DOUBLE_EQ(hm::noc::geomean({2, 8}), 4.0);
+  EXPECT_NEAR(hm::noc::geomean({1, 10, 100}), 10.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  EXPECT_THROW((void)hm::noc::geomean({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)hm::noc::geomean({}), std::invalid_argument);
+}
+
+}  // namespace
