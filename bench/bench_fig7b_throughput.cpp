@@ -2,12 +2,14 @@
 // HexaMesh. The relative saturation throughput comes from cycle-accurate
 // simulation at full injection; it is scaled by the full global bandwidth
 // N x 2 endpoints x per-link bandwidth from the D2D link model (Sec. VI-A/B).
+// The sweep runs through the explore::SweepEngine (HM_THREADS cores,
+// deterministic output, HM_CSV=path raw export).
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
-#include "noc/simulator.hpp"
+#include "explore/sweep.hpp"
 
 int main() {
   using namespace hm::core;
@@ -15,35 +17,34 @@ int main() {
                     "Fig. 7b (sim saturation fraction x full global "
                     "bandwidth from the link model)");
 
-  const EvaluationParams params;  // paper defaults
+  EvaluationParams params;         // paper defaults...
+  params.measure_latency = false;  // ...but only the throughput half
+  hm::explore::SweepSpec spec;
+  spec.types = hm::bench::compared_types();
+  spec.chiplet_counts = hm::bench::simulation_sweep();
+  spec.param_grid = {params};
+  spec.derive_per_job_seeds = false;  // single fixed seed, like the paper
+  const auto records = hm::bench::run_sweep(spec);
+
   std::printf("%4s | %9s %8s | %9s %8s | %9s %8s\n", "N", "grid", "(rel)",
               "brickw", "(rel)", "hexamesh", "(rel)");
   hm::bench::rule(70);
 
-  for (std::size_t n : hm::bench::simulation_sweep()) {
-    double tbps[3], rel[3];
-    int i = 0;
-    for (auto type : hm::bench::compared_types()) {
-      const auto arr = make_arrangement(type, n);
-      const auto analytic = evaluate_analytic(arr, params);
-      hm::noc::SaturationSearchOptions search;
-      search.warmup = params.throughput_warmup;
-      search.measure = params.throughput_measure;
-      const auto sat = hm::noc::find_saturation(arr.graph(), params.sim,
-                                                search);
-      rel[i] = sat.accepted_flit_rate;
-      tbps[i] = rel[i] * analytic.full_global_bandwidth_bps / 1e12;
-      ++i;
+  for (std::size_t n : spec.chiplet_counts) {
+    std::printf("%4zu", n);
+    for (auto type : spec.types) {
+      const auto& rec = hm::bench::record_or_die(records, type, n);
+      std::printf(" | %9.2f %7.1f%%",
+                  rec.result.saturation_throughput_bps / 1e12,
+                  100.0 * rec.result.saturation_fraction);
     }
-    std::printf("%4zu | %9.2f %7.1f%% | %9.2f %7.1f%% | %9.2f %7.1f%%\n", n,
-                tbps[0], 100.0 * rel[0], tbps[1], 100.0 * rel[1], tbps[2],
-                100.0 * rel[2]);
-    std::fflush(stdout);
+    std::printf("\n");
   }
 
   std::printf(
       "\nExpected shape (paper Sec. VI-C): absolute throughput falls with N\n"
       "(per-link bandwidth shrinks as A_C = A_all/N); HM wins despite its\n"
       "lower per-link bandwidth thanks to the higher bisection bandwidth.\n");
+  hm::bench::maybe_export(records);
   return 0;
 }

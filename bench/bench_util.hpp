@@ -1,7 +1,11 @@
-// Shared helpers for the reproduction harnesses: sweep selection, evaluation
-// caching per design point, and table formatting. Each bench binary
-// regenerates one table/figure of the paper; set HM_FULL_SWEEP=1 to run
-// every chiplet count instead of the decimated default sweep.
+// Shared helpers for the reproduction harnesses: sweep selection, parallel
+// evaluation through the explore::SweepEngine, result export, and table
+// formatting. Each bench binary regenerates one table/figure of the paper.
+// Environment knobs honoured by every sweep-engine-based driver:
+//   HM_FULL_SWEEP=1   run every chiplet count instead of the decimated set
+//   HM_THREADS=K      sweep with K threads (default: hardware concurrency)
+//   HM_CSV=path       additionally export the raw sweep records as CSV
+//   HM_JSON=path      additionally export the raw sweep records as JSON
 #pragma once
 
 #include <cstdio>
@@ -11,6 +15,8 @@
 
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
+#include "explore/export.hpp"
+#include "explore/sweep.hpp"
 
 namespace hm::bench {
 
@@ -74,6 +80,89 @@ inline void header(const std::string& what, const std::string& paper_ref) {
     std::printf("sweep: full\n");
   }
   std::printf("\n");
+}
+
+/// Sweep concurrency: HM_THREADS, defaulting to the hardware.
+inline unsigned sweep_threads() {
+  if (const char* env = std::getenv("HM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return 0;  // ThreadPool resolves 0 to hardware_concurrency
+}
+
+/// Runs `spec` on a fresh SweepEngine with the standard bench options and
+/// a one-line progress ticker on stderr.
+inline std::vector<explore::SweepRecord> run_sweep(
+    const explore::SweepSpec& spec) {
+  explore::SweepEngine::Options opt;
+  opt.threads = sweep_threads();
+  opt.on_progress = [](const explore::SweepProgress& p) {
+    std::fprintf(stderr, "\r[%zu/%zu] designs evaluated", p.completed,
+                 p.total);
+    if (p.completed == p.total) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  };
+  explore::SweepEngine engine(opt);
+  return engine.run(spec);
+}
+
+/// Honours HM_CSV / HM_JSON: exports the raw records next to the printed
+/// table so plots can be regenerated without re-simulating. The env var
+/// selects the format regardless of the path's extension. An unwritable
+/// path is reported on stderr, not allowed to abort a bench whose
+/// simulations already ran.
+inline void maybe_export(const std::vector<explore::SweepRecord>& records) {
+  const auto attempt = [&](const char* env,
+                           void (*write)(const std::string&,
+                                         const std::vector<
+                                             explore::SweepRecord>&)) {
+    const char* path = std::getenv(env);
+    if (path == nullptr) return;
+    try {
+      write(path, records);
+      std::printf("\nraw records exported: %s\n", path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s export failed: %s\n", env, e.what());
+    }
+  };
+  attempt("HM_CSV", explore::write_csv_file);
+  attempt("HM_JSON", explore::write_json_file);
+}
+
+/// Finds the record for (type, n, param set, traffic set) in sweep output.
+inline const explore::SweepRecord* find_record(
+    const std::vector<explore::SweepRecord>& records,
+    core::ArrangementType type, std::size_t n, std::size_t param_index = 0,
+    std::size_t traffic_index = 0) {
+  for (const auto& r : records) {
+    if (r.point.type == type && r.point.chiplet_count == n &&
+        r.point.param_index == param_index &&
+        r.point.traffic_index == traffic_index) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+/// find_record, but fail-loud: a bench table must never print silent
+/// zeros for a design whose evaluation failed or is missing.
+inline const explore::SweepRecord& record_or_die(
+    const std::vector<explore::SweepRecord>& records,
+    core::ArrangementType type, std::size_t n, std::size_t param_index = 0,
+    std::size_t traffic_index = 0) {
+  const auto* rec = find_record(records, type, n, param_index, traffic_index);
+  if (rec == nullptr) {
+    std::fprintf(stderr, "no sweep record for %s N=%zu\n",
+                 core::to_string(type).c_str(), n);
+    std::exit(1);
+  }
+  if (!rec->error.empty()) {
+    std::fprintf(stderr, "evaluation failed for %s N=%zu: %s\n",
+                 core::to_string(type).c_str(), n, rec->error.c_str());
+    std::exit(1);
+  }
+  return *rec;
 }
 
 }  // namespace hm::bench

@@ -1,19 +1,43 @@
 // Design sweep: for a range of chiplet counts, evaluate grid vs HexaMesh
 // end to end (simulation included) and recommend the better arrangement per
-// design point — the decision a 2.5D system architect faces.
+// design point — the decision a 2.5D system architect faces. The sweep runs
+// through the explore::SweepEngine: all design points in parallel, with
+// deterministic per-job seeding (the output is identical at any thread
+// count) and optional CSV export of the raw records.
 //
-//   ./design_sweep [N1 N2 ...]      (default: 16 25 37 64)
+//   ./design_sweep [N1 N2 ...]              (default: 16 25 37 64)
+//   ./design_sweep --threads K [N...]       sweep with K threads
+//   ./design_sweep --csv out.csv [N...]     export raw records as CSV
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
+#include "explore/export.hpp"
+#include "explore/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm::core;
   std::vector<std::size_t> sweep;
+  unsigned threads = 0;  // hardware concurrency
+  std::string csv_path;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 ||
+        std::strcmp(argv[i], "--csv") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        return 1;
+      }
+      if (std::strcmp(argv[i], "--threads") == 0) {
+        threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else {
+        csv_path = argv[++i];
+      }
+      continue;
+    }
     const auto n = std::strtoul(argv[i], nullptr, 10);
     if (n < 2) {
       std::fprintf(stderr, "chiplet counts must be >= 2\n");
@@ -28,16 +52,38 @@ int main(int argc, char** argv) {
   params.throughput_warmup = 5000;
   params.throughput_measure = 5000;
 
+  hm::explore::SweepSpec spec;
+  spec.types = {ArrangementType::kGrid, ArrangementType::kHexaMesh};
+  spec.chiplet_counts = sweep;
+  spec.param_grid = {params};
+
+  hm::explore::SweepEngine::Options opt;
+  opt.threads = threads;
+  opt.on_progress = [](const hm::explore::SweepProgress& p) {
+    std::fprintf(stderr, "\r[%zu/%zu] designs evaluated", p.completed,
+                 p.total);
+    if (p.completed == p.total) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  };
+  hm::explore::SweepEngine engine(opt);
+  const auto records = engine.run(spec);
+
   std::printf("%4s | %-26s | %-26s | %s\n", "N", "grid (lat, thr)",
               "hexamesh (lat, thr)", "recommendation");
   for (int i = 0; i < 84; ++i) std::putchar('-');
   std::putchar('\n');
 
+  const auto find = [&records](ArrangementType type, std::size_t n)
+      -> const hm::explore::SweepRecord& {
+    for (const auto& r : records) {
+      if (r.point.type == type && r.point.chiplet_count == n) return r;
+    }
+    std::abort();  // every requested point has a record
+  };
+
   for (std::size_t n : sweep) {
-    const auto g = evaluate(make_arrangement(ArrangementType::kGrid, n),
-                            params);
-    const auto h = evaluate(make_arrangement(ArrangementType::kHexaMesh, n),
-                            params);
+    const auto& g = find(ArrangementType::kGrid, n).result;
+    const auto& h = find(ArrangementType::kHexaMesh, n).result;
     const double lat_gain = 1.0 - h.zero_load_latency_cycles /
                                       g.zero_load_latency_cycles;
     const double thr_gain = h.saturation_throughput_bps /
@@ -52,7 +98,16 @@ int main(int argc, char** argv) {
                 h.saturation_throughput_bps / 1e12,
                 hm_wins ? "HexaMesh" : "mixed", -100.0 * lat_gain,
                 100.0 * thr_gain);
-    std::fflush(stdout);
+  }
+
+  if (!csv_path.empty()) {
+    try {
+      hm::explore::export_file(csv_path, records);
+      std::printf("\nraw records exported: %s\n", csv_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "core/proxies.hpp"
 #include "graph/algorithms.hpp"
@@ -74,34 +76,61 @@ EvaluationResult evaluate_analytic(const Arrangement& arr,
 }
 
 EvaluationResult evaluate(const Arrangement& arr,
-                          const EvaluationParams& params) {
+                          const EvaluationParams& params,
+                          const noc::TrafficSpec& traffic,
+                          noc::ProbeExecutor* executor) {
+  return evaluate_simulation(arr, params, evaluate_analytic(arr, params),
+                             traffic, executor);
+}
+
+EvaluationResult evaluate_simulation(const Arrangement& arr,
+                                     const EvaluationParams& params,
+                                     EvaluationResult r,
+                                     const noc::TrafficSpec& traffic,
+                                     noc::ProbeExecutor* executor) {
   if (arr.chiplet_count() < 2) {
     throw std::invalid_argument(
         "evaluate: cycle-accurate evaluation needs >= 2 chiplets");
   }
-  EvaluationResult r;
-  fill_analytic(arr, params, r);
 
   // Zero-load latency (Fig. 7a): low injection rate, fresh simulator.
-  {
+  auto latency_run = [&] {
     noc::Simulator sim(arr.graph(), params.sim);
+    sim.set_traffic(traffic);
     const auto lat = sim.run_latency(
         params.zero_load_injection_rate, params.latency_warmup,
         params.latency_measure, params.latency_drain_limit);
     r.zero_load_latency_cycles = lat.avg_packet_latency;
     r.latency_run_drained = lat.drained;
-  }
+  };
 
   // Saturation throughput (Fig. 7b): binary-search the knee of the
   // accepted-vs-offered curve (fresh network per probe).
-  {
+  auto saturation_run = [&] {
     noc::SaturationSearchOptions search;
     search.warmup = params.throughput_warmup;
     search.measure = params.throughput_measure;
-    const auto sat = noc::find_saturation(arr.graph(), params.sim, search);
+    const auto sat =
+        noc::find_saturation(arr.graph(), params.sim, search, traffic,
+                             executor);
     r.saturation_fraction = sat.accepted_flit_rate;
     r.saturation_throughput_bps =
         r.saturation_fraction * r.full_global_bandwidth_bps;
+  };
+
+  // The two measurements are independent (each owns a fresh network and a
+  // deterministically seeded RNG), so they can run as one parallel batch;
+  // the saturation search speculates its own probes through the same
+  // executor. Results match the sequential path bit for bit either way.
+  if (executor != nullptr && params.measure_latency &&
+      params.measure_saturation) {
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back(latency_run);
+    jobs.push_back(saturation_run);
+    executor->run_batch(jobs);
+  } else {
+    if (params.measure_latency) latency_run();
+    if (params.measure_saturation) saturation_run();
   }
   return r;
 }

@@ -15,6 +15,11 @@
 #include "core/shape.hpp"
 #include "noc/config.hpp"
 #include "noc/flit.hpp"
+#include "noc/traffic.hpp"
+
+namespace hm::noc {
+class ProbeExecutor;
+}  // namespace hm::noc
 
 namespace hm::core {
 
@@ -45,6 +50,12 @@ struct EvaluationParams {
   noc::Cycle latency_drain_limit = 300000;
   noc::Cycle throughput_warmup = 3500;
   noc::Cycle throughput_measure = 3500;
+
+  /// Which cycle-accurate measurements evaluate() runs. Sweeps that only
+  /// plot one of the two figures (e.g. Fig. 7a vs 7b) skip the other half
+  /// of the simulation budget; skipped fields stay zero.
+  bool measure_latency = true;
+  bool measure_saturation = true;
 };
 
 /// Everything the paper reports per design point.
@@ -86,7 +97,29 @@ struct EvaluationResult {
 
 /// Full evaluation including the cycle-accurate simulations (Fig. 7).
 /// Requires >= 2 chiplets (a 1-chiplet design has no ICI to simulate).
+///
+/// Re-entrant and const-correct: it touches no shared mutable state, so
+/// concurrent calls on different (or the same) arrangements are safe —
+/// this is the entry point the explore::SweepEngine fans out across
+/// threads. `traffic` selects the simulated pattern (default: uniform
+/// random, the paper's setup). When `executor` is non-null, the
+/// independent simulation probes within this one design — the zero-load
+/// latency run and the saturation-search probes — run in parallel; the
+/// result is bit-identical to the sequential evaluation because every
+/// probe owns a fresh, deterministically seeded simulator.
 [[nodiscard]] EvaluationResult evaluate(const Arrangement& arr,
-                                        const EvaluationParams& params = {});
+                                        const EvaluationParams& params = {},
+                                        const noc::TrafficSpec& traffic = {},
+                                        noc::ProbeExecutor* executor = nullptr);
+
+/// The simulation half of evaluate(): takes an `analytic` result already
+/// computed by evaluate_analytic(arr, params) and fills in the
+/// cycle-accurate fields. Lets callers (e.g. the sweep engine's
+/// ResultCache) share one analytic evaluation across many traffic or
+/// simulator ablations of the same design.
+[[nodiscard]] EvaluationResult evaluate_simulation(
+    const Arrangement& arr, const EvaluationParams& params,
+    EvaluationResult analytic, const noc::TrafficSpec& traffic = {},
+    noc::ProbeExecutor* executor = nullptr);
 
 }  // namespace hm::core

@@ -1,0 +1,161 @@
+#include "explore/export.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hm::explore {
+
+namespace {
+
+/// Shortest round-trip decimal form of a double (exact, locale-free).
+std::string fmt(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, ptr);
+}
+
+/// RFC-4180 quoting: wrap when the value contains a comma, quote or
+/// newline; double any embedded quotes.
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const std::vector<SweepRecord>& records) {
+  os << "index,arrangement,regularity,chiplets,param_set,traffic,seed,"
+        "diameter,avg_hop_distance,bisection_links,chiplet_area_mm2,"
+        "link_area_mm2,per_link_bandwidth_bps,full_global_bandwidth_bps,"
+        "zero_load_latency_cycles,latency_run_drained,saturation_fraction,"
+        "saturation_throughput_bps,analytic_only,error\n";
+  for (const auto& rec : records) {
+    const auto& p = rec.point;
+    const auto& r = rec.result;
+    os << p.index << ',' << core::to_string(p.type) << ','
+       << core::to_string(r.regularity) << ',' << p.chiplet_count << ','
+       << p.param_index << ',' << csv_escape(p.traffic.describe()) << ','
+       << p.params.sim.seed << ',' << r.diameter << ','
+       << fmt(r.avg_hop_distance) << ',' << r.bisection_links << ','
+       << fmt(r.chiplet_area_mm2) << ',' << fmt(r.link_area_mm2) << ','
+       << fmt(r.per_link_bandwidth_bps) << ','
+       << fmt(r.full_global_bandwidth_bps) << ','
+       << fmt(r.zero_load_latency_cycles) << ','
+       << (r.latency_run_drained ? 1 : 0) << ',' << fmt(r.saturation_fraction)
+       << ',' << fmt(r.saturation_throughput_bps) << ','
+       << (rec.analytic_only ? 1 : 0) << ',' << csv_escape(rec.error) << '\n';
+  }
+}
+
+std::string to_csv(const std::vector<SweepRecord>& records) {
+  std::ostringstream os;
+  write_csv(os, records);
+  return os.str();
+}
+
+void write_json(std::ostream& os, const std::vector<SweepRecord>& records) {
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    const auto& p = rec.point;
+    const auto& r = rec.result;
+    os << "  {\"index\": " << p.index
+       << ", \"arrangement\": \"" << json_escape(core::to_string(p.type))
+       << "\", \"regularity\": \"" << json_escape(core::to_string(r.regularity))
+       << "\", \"chiplets\": " << p.chiplet_count
+       << ", \"param_set\": " << p.param_index
+       << ", \"traffic\": \"" << json_escape(p.traffic.describe())
+       << "\", \"seed\": " << p.params.sim.seed
+       << ", \"diameter\": " << r.diameter
+       << ", \"avg_hop_distance\": " << fmt(r.avg_hop_distance)
+       << ", \"bisection_links\": " << r.bisection_links
+       << ", \"chiplet_area_mm2\": " << fmt(r.chiplet_area_mm2)
+       << ", \"link_area_mm2\": " << fmt(r.link_area_mm2)
+       << ", \"per_link_bandwidth_bps\": " << fmt(r.per_link_bandwidth_bps)
+       << ", \"full_global_bandwidth_bps\": "
+       << fmt(r.full_global_bandwidth_bps)
+       << ", \"zero_load_latency_cycles\": "
+       << fmt(r.zero_load_latency_cycles)
+       << ", \"latency_run_drained\": "
+       << (r.latency_run_drained ? "true" : "false")
+       << ", \"saturation_fraction\": " << fmt(r.saturation_fraction)
+       << ", \"saturation_throughput_bps\": "
+       << fmt(r.saturation_throughput_bps)
+       << ", \"analytic_only\": " << (rec.analytic_only ? "true" : "false")
+       << ", \"error\": \"" << json_escape(rec.error) << "\"}"
+       << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  os << "]\n";
+}
+
+std::string to_json(const std::vector<SweepRecord>& records) {
+  std::ostringstream os;
+  write_json(os, records);
+  return os.str();
+}
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("export_file: cannot open " + path);
+  }
+  return os;
+}
+
+}  // namespace
+
+void write_csv_file(const std::string& path,
+                    const std::vector<SweepRecord>& records) {
+  auto os = open_or_throw(path);
+  write_csv(os, records);
+}
+
+void write_json_file(const std::string& path,
+                     const std::vector<SweepRecord>& records) {
+  auto os = open_or_throw(path);
+  write_json(os, records);
+}
+
+void export_file(const std::string& path,
+                 const std::vector<SweepRecord>& records) {
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".json") {
+    write_json_file(path, records);
+  } else {
+    write_csv_file(path, records);
+  }
+}
+
+}  // namespace hm::explore

@@ -1,0 +1,40 @@
+// CSV / JSON serialization of sweep results.
+//
+// Writers emit only deterministic fields (design identity, derived seed,
+// analytic proxies, simulation measurements) — never wall-clock times or
+// cache-hit flags — so the export of an N-thread sweep is byte-identical
+// to the 1-thread export of the same spec. Doubles are printed with
+// std::to_chars shortest round-trip form, which is exact and
+// locale-independent.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "explore/sweep.hpp"
+
+namespace hm::explore {
+
+/// Header + one row per record, in record order.
+void write_csv(std::ostream& os, const std::vector<SweepRecord>& records);
+[[nodiscard]] std::string to_csv(const std::vector<SweepRecord>& records);
+
+/// A JSON array of objects, one per record, in record order.
+void write_json(std::ostream& os, const std::vector<SweepRecord>& records);
+[[nodiscard]] std::string to_json(const std::vector<SweepRecord>& records);
+
+/// Explicit-format file writers. Throw std::runtime_error when the file
+/// cannot be opened.
+void write_csv_file(const std::string& path,
+                    const std::vector<SweepRecord>& records);
+void write_json_file(const std::string& path,
+                     const std::vector<SweepRecord>& records);
+
+/// Writes records to `path`, dispatching on the extension: ".json" gets
+/// JSON, everything else CSV. Throws std::runtime_error when the file
+/// cannot be opened.
+void export_file(const std::string& path,
+                 const std::vector<SweepRecord>& records);
+
+}  // namespace hm::explore

@@ -1,0 +1,94 @@
+#include "explore/hash.hpp"
+
+#include <bit>
+
+namespace hm::explore {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+StableHash& StableHash::mix(std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h_ ^= (v >> (8 * byte)) & 0xffULL;
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+StableHash& StableHash::mix_i(std::int64_t v) noexcept {
+  return mix(static_cast<std::uint64_t>(v));
+}
+
+StableHash& StableHash::mix_f(double v) noexcept {
+  return mix(std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  StableHash h;
+  h.mix(a).mix(b);
+  return h.value();
+}
+
+std::uint64_t hash_arrangement(const core::Arrangement& arr) {
+  StableHash h;
+  h.mix(static_cast<std::uint64_t>(arr.type()))
+      .mix(static_cast<std::uint64_t>(arr.regularity()))
+      .mix(arr.chiplet_count());
+  for (const auto& c : arr.coords()) h.mix_i(c.a).mix_i(c.b);
+  const auto edges = arr.graph().edges();  // sorted (a < b, lexicographic)
+  h.mix(edges.size());
+  for (const auto& [a, b] : edges) h.mix(a).mix(b);
+  return h.value();
+}
+
+std::uint64_t hash_analytic_params(const core::EvaluationParams& params) {
+  StableHash h;
+  h.mix_f(params.total_area_mm2)
+      .mix_f(params.power_fraction)
+      .mix_f(params.bump_pitch_mm)
+      .mix_i(params.non_data_wires)
+      .mix_f(params.frequency_hz)
+      .mix_b(params.hand_optimized_small_n)
+      .mix_i(params.sim.endpoints_per_chiplet);
+  return h.value();
+}
+
+std::uint64_t hash_simulation_params(const core::EvaluationParams& params) {
+  const noc::SimConfig& s = params.sim;
+  StableHash h;
+  h.mix_i(s.vcs)
+      .mix_i(s.buffer_depth)
+      .mix_i(s.router_latency)
+      .mix_i(s.link_latency)
+      .mix_i(s.injection_link_latency)
+      .mix_i(s.ejection_link_latency)
+      .mix_i(s.packet_length)
+      .mix_i(s.endpoints_per_chiplet)
+      .mix_i(s.source_queue_capacity)
+      .mix_i(s.escape_threshold)
+      .mix_i(s.sa_iterations)
+      .mix(static_cast<std::uint64_t>(s.routing))
+      .mix(s.seed)
+      .mix_f(params.zero_load_injection_rate)
+      .mix(params.latency_warmup)
+      .mix(params.latency_measure)
+      .mix(params.latency_drain_limit)
+      .mix(params.throughput_warmup)
+      .mix(params.throughput_measure)
+      .mix_b(params.measure_latency)
+      .mix_b(params.measure_saturation);
+  return h.value();
+}
+
+std::uint64_t hash_traffic(const noc::TrafficSpec& traffic) {
+  StableHash h;
+  h.mix(static_cast<std::uint64_t>(traffic.pattern))
+      .mix_f(traffic.hotspot_fraction)
+      .mix(traffic.hotspots.size());
+  for (const auto hs : traffic.hotspots) h.mix(hs);
+  h.mix(traffic.permutation_seed);
+  return h.value();
+}
+
+}  // namespace hm::explore

@@ -1,0 +1,57 @@
+// Stable 64-bit hashing of design points for the exploration result cache.
+//
+// "Stable" means the digest depends only on the logical content — the
+// arrangement's topology and the evaluation/traffic parameters — serialized
+// field by field in a fixed order, never on pointers, container capacity or
+// platform. Two sweep jobs that would compute the same EvaluationResult
+// hash to the same key, which is what lets the cache share e.g. the
+// analytic half of evaluate() across traffic ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/arrangement.hpp"
+#include "core/evaluator.hpp"
+#include "noc/traffic.hpp"
+
+namespace hm::explore {
+
+/// FNV-1a (64-bit) accumulator over explicitly serialized fields.
+class StableHash {
+ public:
+  StableHash& mix(std::uint64_t v) noexcept;
+  StableHash& mix_i(std::int64_t v) noexcept;
+  StableHash& mix_f(double v) noexcept;  ///< bit pattern (-0.0 != +0.0)
+  StableHash& mix_b(bool v) noexcept { return mix(v ? 1 : 0); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// Order-independent-of-nothing combiner: mixes `b` into `a` (asymmetric).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a,
+                                         std::uint64_t b) noexcept;
+
+/// Digest of the arrangement's identity: type, regularity, lattice
+/// coordinates and adjacency edges (sorted, so any graph construction order
+/// yields the same digest).
+[[nodiscard]] std::uint64_t hash_arrangement(const core::Arrangement& arr);
+
+/// Digest of the parameters the *analytic* half of evaluate() depends on
+/// (area budget, link model, endpoints per chiplet). Excludes simulator
+/// knobs, phase lengths and seeds — analytic results are seed-free.
+[[nodiscard]] std::uint64_t hash_analytic_params(
+    const core::EvaluationParams& params);
+
+/// Digest of everything the cycle-accurate half depends on: the full
+/// SimConfig (seed included), phase lengths, injection rate and the
+/// measurement-selection flags.
+[[nodiscard]] std::uint64_t hash_simulation_params(
+    const core::EvaluationParams& params);
+
+/// Digest of a traffic spec (pattern, hotspot set, permutation seed).
+[[nodiscard]] std::uint64_t hash_traffic(const noc::TrafficSpec& traffic);
+
+}  // namespace hm::explore

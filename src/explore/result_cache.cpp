@@ -1,0 +1,48 @@
+#include "explore/result_cache.hpp"
+
+#include <mutex>
+
+namespace hm::explore {
+
+std::optional<core::EvaluationResult> ResultCache::lookup(
+    std::uint64_t key) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void ResultCache::insert(std::uint64_t key,
+                         const core::EvaluationResult& result) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.insert_or_assign(key, result);
+}
+
+core::EvaluationResult ResultCache::get_or_compute(
+    std::uint64_t key,
+    const std::function<core::EvaluationResult()>& compute, bool* was_hit) {
+  if (auto cached = lookup(key)) {
+    if (was_hit != nullptr) *was_hit = true;
+    return *cached;
+  }
+  if (was_hit != nullptr) *was_hit = false;
+  core::EvaluationResult result = compute();
+  insert(key, result);
+  return result;
+}
+
+std::size_t ResultCache::size() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+void ResultCache::clear() {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.clear();
+}
+
+}  // namespace hm::explore

@@ -1,0 +1,52 @@
+// Thread-safe cache of evaluation results keyed by the stable design-point
+// hashes of explore/hash.hpp. Repeated probes of the same (arrangement,
+// params) — e.g. the analytic half of evaluate() shared across traffic
+// ablations, or a re-run of an extended sweep — are computed once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/evaluator.hpp"
+
+namespace hm::explore {
+
+class ResultCache {
+ public:
+  /// Returns the cached result for `key`, if any. Counts a hit or miss.
+  [[nodiscard]] std::optional<core::EvaluationResult> lookup(
+      std::uint64_t key) const;
+
+  /// Stores `result` under `key` (last writer wins; with deterministic
+  /// evaluation, racing writers store identical values).
+  void insert(std::uint64_t key, const core::EvaluationResult& result);
+
+  /// lookup(), falling back to `compute` + insert() on a miss. `compute`
+  /// runs outside the lock, so two threads racing on the same key may both
+  /// compute — harmless for deterministic evaluations and cheaper than
+  /// serializing every simulation behind a mutex. `was_hit`, when given,
+  /// reports whether the value came from the cache.
+  core::EvaluationResult get_or_compute(
+      std::uint64_t key,
+      const std::function<core::EvaluationResult()>& compute,
+      bool* was_hit = nullptr);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Lifetime lookup counters (lookup() and get_or_compute()).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, core::EvaluationResult> map_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace hm::explore

@@ -1,0 +1,144 @@
+#include "explore/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+
+#include "explore/hash.hpp"
+#include "noc/rng.hpp"
+
+namespace hm::explore {
+
+std::vector<SweepPoint> SweepSpec::points() const {
+  if (types.empty()) {
+    throw std::invalid_argument("SweepSpec: types must be non-empty");
+  }
+  if (chiplet_counts.empty()) {
+    throw std::invalid_argument("SweepSpec: chiplet_counts must be non-empty");
+  }
+  if (param_grid.empty() || traffic_grid.empty()) {
+    throw std::invalid_argument(
+        "SweepSpec: param_grid and traffic_grid must be non-empty");
+  }
+  for (const auto& traffic : traffic_grid) {
+    traffic.validate();  // endpoint-count check happens per design
+  }
+
+  std::vector<SweepPoint> out;
+  out.reserve(types.size() * chiplet_counts.size() * param_grid.size() *
+              traffic_grid.size());
+  std::size_t index = 0;
+  for (const auto type : types) {
+    for (const auto n : chiplet_counts) {
+      for (std::size_t pi = 0; pi < param_grid.size(); ++pi) {
+        for (std::size_t ti = 0; ti < traffic_grid.size(); ++ti) {
+          SweepPoint p;
+          p.index = index;
+          p.type = type;
+          p.chiplet_count = n;
+          p.param_index = pi;
+          p.traffic_index = ti;
+          p.params = param_grid[pi];
+          p.traffic = traffic_grid[ti];
+          if (derive_per_job_seeds) {
+            p.params.sim.seed = noc::derive_seed(base_seed, index);
+          }
+          out.push_back(std::move(p));
+          ++index;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
+
+SweepEngine::SweepEngine(Options options)
+    : options_(std::move(options)), pool_(options_.threads) {}
+
+SweepRecord SweepEngine::evaluate_point(const SweepPoint& point) {
+  SweepRecord rec;
+  rec.point = point;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const core::Arrangement arr =
+        core::make_arrangement(point.type, point.chiplet_count);
+    noc::ProbeExecutor* executor =
+        options_.intra_design_parallelism ? &pool_ : nullptr;
+
+    const auto cached_eval = [&](std::uint64_t key, auto compute) {
+      if (!options_.use_cache) {
+        rec.from_cache = false;
+        return compute();
+      }
+      return cache_.get_or_compute(key, compute, &rec.from_cache);
+    };
+
+    // Analytic half, shared across every simulator/traffic ablation of the
+    // same design via the cache.
+    const std::uint64_t analytic_key = hash_combine(
+        hash_arrangement(arr), hash_analytic_params(point.params));
+    const auto analytic = cached_eval(
+        analytic_key,
+        [&] { return core::evaluate_analytic(arr, point.params); });
+
+    const bool want_sim = point.params.measure_latency ||
+                          point.params.measure_saturation;
+    if (!want_sim || point.chiplet_count < 2) {
+      rec.analytic_only = true;
+      rec.result = analytic;
+    } else {
+      const std::uint64_t full_key = hash_combine(
+          hash_combine(analytic_key, hash_simulation_params(point.params)),
+          hash_traffic(point.traffic));
+      rec.result = cached_eval(full_key, [&] {
+        return core::evaluate_simulation(arr, point.params, analytic,
+                                         point.traffic, executor);
+      });
+    }
+  } catch (const std::exception& e) {
+    rec.error = e.what();
+  } catch (...) {
+    rec.error = "unknown error";
+  }
+  rec.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return rec;
+}
+
+std::vector<SweepRecord> SweepEngine::run(const SweepSpec& spec) {
+  // SweepSpec.simulate is a convenience switch over the per-params flags.
+  SweepSpec resolved = spec;
+  if (!spec.simulate) {
+    for (auto& p : resolved.param_grid) {
+      p.measure_latency = false;
+      p.measure_saturation = false;
+    }
+  }
+  const std::vector<SweepPoint> points = resolved.points();
+
+  std::vector<SweepRecord> records(points.size());
+  std::size_t completed = 0;  // guarded by progress_mu_
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    jobs.push_back([this, &points, &records, &completed, i] {
+      records[i] = evaluate_point(points[i]);
+      if (options_.on_progress) {
+        const std::lock_guard<std::mutex> lock(progress_mu_);
+        ++completed;
+        SweepProgress progress;
+        progress.completed = completed;
+        progress.total = points.size();
+        progress.last = &records[i];
+        options_.on_progress(progress);
+      }
+    });
+  }
+  pool_.run_batch(jobs);
+  return records;
+}
+
+}  // namespace hm::explore

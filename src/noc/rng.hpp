@@ -53,4 +53,17 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+/// Deterministically derives an independent seed from a base seed and a
+/// salt (one SplitMix64 step over their combination). Used to give every
+/// parallel sweep job / simulation probe its own decorrelated RNG stream
+/// whose value depends only on (base, salt) — never on thread scheduling —
+/// so multi-threaded runs reproduce single-threaded ones bit for bit.
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t base,
+                                               std::uint64_t salt) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace hm::noc

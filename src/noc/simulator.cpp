@@ -1,11 +1,18 @@
 #include "noc/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <map>
 
 namespace hm::noc {
 
 Simulator::Simulator(const graph::Graph& g, const SimConfig& cfg)
     : cfg_(cfg), net_(g, cfg), rng_(cfg.seed) {}
+
+void Simulator::set_traffic(const TrafficSpec& spec) {
+  spec.validate(net_.num_endpoints());
+  traffic_spec_ = spec;
+}
 
 void Simulator::tick(SyntheticTraffic& traffic) {
   const std::size_t n_eps = net_.num_endpoints();
@@ -121,14 +128,58 @@ ThroughputResult Simulator::run_throughput(double flit_rate, Cycle warmup,
 
 SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
                                  const SaturationSearchOptions& opts,
-                                 const TrafficSpec& traffic) {
+                                 const TrafficSpec& traffic,
+                                 ProbeExecutor* executor) {
+  traffic.validate(g.node_count() *
+                   static_cast<std::size_t>(cfg.endpoints_per_chiplet));
   SaturationResult result;
-  auto probe = [&](double rate) {
-    Simulator sim(g, cfg);  // fresh network per probe
+
+  // A probe's outcome is a pure function of its offered rate: it runs on a
+  // fresh network whose seed depends only on (cfg.seed, rate). That is the
+  // invariant that makes speculative parallel probing below bit-identical
+  // to the sequential search.
+  auto run_one = [&](double rate) {
+    SimConfig probe_cfg = cfg;
+    if (opts.per_probe_seeds) {
+      probe_cfg.seed = derive_seed(cfg.seed, std::bit_cast<std::uint64_t>(rate));
+    }
+    Simulator sim(g, probe_cfg);  // fresh network per probe
     sim.set_traffic(traffic);
-    ++result.probes;
     return sim.run_throughput(rate, opts.warmup, opts.measure);
   };
+
+  // Memoized probes, batched through the executor when one is available.
+  std::map<double, ThroughputResult> memo;
+  auto ensure = [&](std::initializer_list<double> rates) {
+    std::vector<double> missing;
+    for (double r : rates) {
+      if (!memo.contains(r) &&
+          std::find(missing.begin(), missing.end(), r) == missing.end()) {
+        missing.push_back(r);
+      }
+    }
+    if (missing.empty()) return;
+    result.probes += static_cast<int>(missing.size());
+    if (executor != nullptr && missing.size() > 1) {
+      std::vector<ThroughputResult> out(missing.size());
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(missing.size());
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        jobs.push_back([&, i] { out[i] = run_one(missing[i]); });
+      }
+      executor->run_batch(jobs);
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        memo.emplace(missing[i], out[i]);
+      }
+    } else {
+      for (double r : missing) memo.emplace(r, run_one(r));
+    }
+  };
+  auto probe = [&](double rate) -> const ThroughputResult& {
+    ensure({rate});
+    return memo.at(rate);
+  };
+
   // Stable = the source queues never overflowed during the measurement
   // window (the knee indicator) and the ejected rate keeps up with the
   // offered rate (guards against slowly-filling in-network congestion).
@@ -138,9 +189,16 @@ SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
   };
 
   // Full-rate probe first: if the network keeps up with offered = 1.0 it is
-  // injection-limited, not network-limited.
+  // injection-limited, not network-limited. With an executor, speculate the
+  // first two binary-search levels alongside it — they are the probes the
+  // search will want next unless the full-rate probe short-circuits.
+  if (executor != nullptr && opts.iterations >= 2) {
+    ensure({1.0, 0.5, 0.25, 0.75});
+  } else if (executor != nullptr && opts.iterations == 1) {
+    ensure({1.0, 0.5});
+  }
   {
-    const auto full = probe(1.0);
+    const auto& full = probe(1.0);
     if (stable(full)) {
       result.saturation_flit_rate = 1.0;
       result.accepted_flit_rate = full.accepted_flit_rate;
@@ -151,14 +209,26 @@ SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
   double lo = 0.0;  // known stable
   double hi = 1.0;  // known unstable
   double accepted_at_lo = 0.0;
-  for (int i = 0; i < opts.iterations; ++i) {
-    const double mid = (lo + hi) / 2.0;
-    const auto r = probe(mid);
+  auto step = [&](const ThroughputResult& r, double mid) {
     if (stable(r)) {
       lo = mid;
       accepted_at_lo = r.accepted_flit_rate;
     } else {
       hi = mid;
+    }
+  };
+  for (int i = 0; i < opts.iterations; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (executor != nullptr && i + 1 < opts.iterations) {
+      // Probe the midpoint and both possible next midpoints in one parallel
+      // batch, then consume two levels of the search from the memo.
+      ensure({mid, (lo + mid) / 2.0, (mid + hi) / 2.0});
+      step(memo.at(mid), mid);
+      ++i;
+      const double mid2 = (lo + hi) / 2.0;
+      step(memo.at(mid2), mid2);
+    } else {
+      step(probe(mid), mid);
     }
   }
   result.saturation_flit_rate = lo;

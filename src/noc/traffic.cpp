@@ -1,10 +1,45 @@
 #include "noc/traffic.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <stdexcept>
 
 namespace hm::noc {
+
+void TrafficSpec::validate(std::size_t num_endpoints) const {
+  if (!(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "TrafficSpec: hotspot_fraction must be in [0, 1]");
+  }
+  if (num_endpoints > 0) {
+    for (const std::uint16_t h : hotspots) {
+      if (h >= num_endpoints) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "TrafficSpec: hotspot endpoint id %u out of range for "
+                      "%zu endpoints",
+                      static_cast<unsigned>(h), num_endpoints);
+        throw std::invalid_argument(msg);
+      }
+    }
+  }
+}
+
+std::string TrafficSpec::describe() const {
+  switch (pattern) {
+    case TrafficPattern::kHotspot: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "hotspot(f=%g,n=%zu)", hotspot_fraction,
+                    hotspots.empty() ? std::size_t{1} : hotspots.size());
+      return buf;
+    }
+    case TrafficPattern::kPermutation:
+      return "permutation(seed=" + std::to_string(permutation_seed) + ")";
+    default:
+      return to_string(pattern);
+  }
+}
 
 const char* to_string(TrafficPattern p) {
   switch (p) {
@@ -71,20 +106,9 @@ SyntheticTraffic::SyntheticTraffic(TrafficSpec spec,
     throw std::invalid_argument(
         "SyntheticTraffic: packet_length must be >= 1");
   }
-  if (spec_.pattern == TrafficPattern::kHotspot) {
-    if (spec_.hotspot_fraction < 0.0 || spec_.hotspot_fraction > 1.0) {
-      throw std::invalid_argument(
-          "SyntheticTraffic: hotspot_fraction must be in [0, 1]");
-    }
-    if (spec_.hotspots.empty()) {
-      spec_.hotspots.push_back(0);
-    }
-    for (std::uint16_t h : spec_.hotspots) {
-      if (h >= num_endpoints_) {
-        throw std::invalid_argument(
-            "SyntheticTraffic: hotspot endpoint out of range");
-      }
-    }
+  spec_.validate(num_endpoints_);
+  if (spec_.pattern == TrafficPattern::kHotspot && spec_.hotspots.empty()) {
+    spec_.hotspots.push_back(0);
   }
   if (spec_.pattern == TrafficPattern::kPermutation) {
     permutation_.resize(num_endpoints_);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "noc/flit.hpp"
@@ -35,6 +36,19 @@ struct TrafficSpec {
   std::vector<std::uint16_t> hotspots;
   /// kPermutation: seed of the fixed permutation.
   unsigned long long permutation_seed = 1;
+
+  /// Throws std::invalid_argument when the spec is malformed — a
+  /// hotspot_fraction outside [0, 1] (rejected for every pattern: a spec
+  /// that silently misbehaves the moment someone flips the pattern to
+  /// kHotspot is a latent bug) or, when `num_endpoints` is non-zero, a
+  /// hotspot endpoint id >= num_endpoints. Called by Simulator::set_traffic,
+  /// find_saturation and the SyntheticTraffic constructor so a bad spec is
+  /// rejected where it is configured instead of deep inside a run.
+  void validate(std::size_t num_endpoints = 0) const;
+
+  /// Short description for logs/exports, e.g. "uniform",
+  /// "hotspot(f=0.2,n=2)", "permutation(seed=7)".
+  [[nodiscard]] std::string describe() const;
 };
 
 /// Bernoulli packet source with uniformly random destinations.

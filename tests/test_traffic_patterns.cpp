@@ -62,7 +62,9 @@ TEST(SyntheticTraffic, HotspotDefaultsToEndpointZero) {
   Rng rng(1);
   for (hm::noc::Cycle t = 0; t < 100; ++t) {
     auto p = traffic.maybe_generate(5, t, rng);
-    if (p.has_value()) EXPECT_EQ(p->dst_endpoint, 0u);
+    if (p.has_value()) {
+      EXPECT_EQ(p->dst_endpoint, 0u);
+    }
   }
 }
 
@@ -88,7 +90,9 @@ TEST(SyntheticTraffic, BitComplementIsDeterministic) {
   Rng rng(2);
   for (hm::noc::Cycle t = 0; t < 100; ++t) {
     auto p = traffic.maybe_generate(1, t, rng);
-    if (p.has_value()) EXPECT_EQ(p->dst_endpoint, 8u);
+    if (p.has_value()) {
+      EXPECT_EQ(p->dst_endpoint, 8u);
+    }
   }
 }
 
@@ -173,6 +177,75 @@ TEST(SimulatorTraffic, PermutationDrainsAtLowLoad) {
   const auto r = sim.run_latency(0.02, 1000, 4000);
   EXPECT_TRUE(r.drained);
   EXPECT_GT(r.packets_measured, 0u);
+}
+
+TEST(TrafficSpecValidate, RejectsHotspotFractionOutsideUnitInterval) {
+  TrafficSpec spec;
+  spec.pattern = TrafficPattern::kHotspot;
+  spec.hotspot_fraction = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.hotspot_fraction = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  // The fraction is rejected even when the pattern is not (yet) hotspot:
+  // a latent bad value must not wait for a pattern flip to explode.
+  spec.pattern = TrafficPattern::kUniform;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.hotspot_fraction = 0.3;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(TrafficSpecValidate, RejectsHotspotEndpointOutOfRange) {
+  TrafficSpec spec;
+  spec.pattern = TrafficPattern::kHotspot;
+  spec.hotspots = {0, 12};
+  EXPECT_NO_THROW(spec.validate(13));
+  EXPECT_THROW(spec.validate(12), std::invalid_argument);
+  // Without an endpoint count the id check is deferred (but the spec is
+  // otherwise checked).
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(TrafficSpecValidate, SetTrafficRejectsAtConfigurationTime) {
+  const auto arr = hm::core::make_grid(4);  // 8 endpoints
+  hm::noc::SimConfig cfg;
+  hm::noc::Simulator sim(arr.graph(), cfg);
+  TrafficSpec bad;
+  bad.pattern = TrafficPattern::kHotspot;
+  bad.hotspots = {42};  // >= 8
+  EXPECT_THROW(sim.set_traffic(bad), std::invalid_argument);
+  bad.hotspots = {7};
+  EXPECT_NO_THROW(sim.set_traffic(bad));
+}
+
+TEST(TrafficSpecValidate, FindSaturationRejectsBadSpec) {
+  const auto arr = hm::core::make_grid(4);
+  hm::noc::SimConfig cfg;
+  hm::noc::SaturationSearchOptions opts;
+  TrafficSpec bad;
+  bad.pattern = TrafficPattern::kHotspot;
+  bad.hotspot_fraction = 2.0;
+  EXPECT_THROW(
+      (void)hm::noc::find_saturation(arr.graph(), cfg, opts, bad),
+      std::invalid_argument);
+}
+
+TEST(TrafficSpecValidate, SyntheticTrafficConstructorStillRejects) {
+  TrafficSpec bad;
+  bad.pattern = TrafficPattern::kHotspot;
+  bad.hotspots = {9};
+  EXPECT_THROW(SyntheticTraffic(bad, 8, 0.1, 4), std::invalid_argument);
+}
+
+TEST(TrafficSpecValidate, DescribeNamesThePattern) {
+  TrafficSpec spec;
+  EXPECT_EQ(spec.describe(), "uniform");
+  spec.pattern = TrafficPattern::kHotspot;
+  spec.hotspot_fraction = 0.25;
+  spec.hotspots = {0, 1};
+  EXPECT_EQ(spec.describe(), "hotspot(f=0.25,n=2)");
+  spec.pattern = TrafficPattern::kPermutation;
+  spec.permutation_seed = 7;
+  EXPECT_EQ(spec.describe(), "permutation(seed=7)");
 }
 
 TEST(SimulatorTraffic, BitComplementStressesDiameter) {
