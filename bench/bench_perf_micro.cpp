@@ -1,83 +1,152 @@
-// google-benchmark micro-perf suite for the library's engineering-critical
-// paths: arrangement construction, BFS diameter, balanced bisection, routing
-// table construction and raw simulator cycle rate.
-#include <benchmark/benchmark.h>
+// Micro-perf suite for the library's engineering-critical paths:
+// arrangement construction, BFS diameter, balanced bisection, routing-table
+// and topology-context construction, and the raw simulator cycle rate.
+// Hand-rolled timing (median of repetitions) so the suite builds without
+// external benchmark libraries, plus machine-readable output: every metric
+// is merged into BENCH_perf.json at the repo root so the perf trajectory of
+// the hot paths is tracked across PRs.
+//
+// Usage: bench_perf_micro [--smoke]   (--smoke: few repetitions, CI gate)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
 #include "graph/algorithms.hpp"
 #include "noc/simulator.hpp"
+#include "noc/topology.hpp"
 #include "partition/partitioner.hpp"
+#include "perf_json.hpp"
 
 namespace {
 
 using hm::core::ArrangementType;
 using hm::core::make_arrangement;
 
-void BM_MakeHexamesh(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(make_arrangement(ArrangementType::kHexaMesh, n));
+bool g_smoke = false;
+std::map<std::string, double> g_metrics;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `fn` until it has consumed ~`budget_s` seconds (at least `min_reps`
+/// times), returns the median seconds per call.
+double time_median(const std::function<void()>& fn, double budget_s,
+                   int min_reps) {
+  std::vector<double> samples;
+  const double start = now_seconds();
+  do {
+    const double t0 = now_seconds();
+    fn();
+    samples.push_back(now_seconds() - t0);
+  } while (static_cast<int>(samples.size()) < min_reps ||
+           (now_seconds() - start < budget_s && samples.size() < 1000));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void report(const std::string& key, double seconds_per_op, double ops = 1.0) {
+  const double ns = seconds_per_op * 1e9 / ops;
+  std::printf("%-36s %12.1f ns/op\n", key.c_str(), ns);
+  g_metrics[key + "_ns"] = ns;
+}
+
+void bench_arrangements() {
+  for (const std::size_t n : {std::size_t{19}, std::size_t{91}}) {
+    report("make_hexamesh.n" + std::to_string(n),
+           time_median([n] { (void)make_arrangement(ArrangementType::kHexaMesh,
+                                                    n); },
+                       g_smoke ? 0.02 : 0.2, 3));
   }
 }
-BENCHMARK(BM_MakeHexamesh)->Arg(19)->Arg(91);
 
-void BM_Diameter(benchmark::State& state) {
-  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
-                                    static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hm::graph::diameter(arr.graph()));
+void bench_graph() {
+  for (const std::size_t n : {std::size_t{37}, std::size_t{100}}) {
+    const auto arr = make_arrangement(ArrangementType::kHexaMesh, n);
+    report("diameter.n" + std::to_string(n),
+           time_median([&] { (void)hm::graph::diameter(arr.graph()); },
+                       g_smoke ? 0.02 : 0.2, 3));
+    report("bisection.n" + std::to_string(n),
+           time_median(
+               [&] { (void)hm::partition::bisection_width(arr.graph()); },
+               g_smoke ? 0.02 : 0.2, 3));
   }
 }
-BENCHMARK(BM_Diameter)->Arg(37)->Arg(100);
 
-void BM_Bisection(benchmark::State& state) {
-  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
-                                    static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hm::partition::bisection_width(arr.graph()));
+void bench_tables() {
+  for (const std::size_t n : {std::size_t{37}, std::size_t{100}}) {
+    const auto arr = make_arrangement(ArrangementType::kHexaMesh, n);
+    // Uncached table build: the cost the shared TopologyContext amortizes
+    // away (pre-refactor this ran ~13x per saturation search).
+    report("routing_tables_build.n" + std::to_string(n),
+           time_median([&] { hm::noc::RoutingTables tables(arr.graph()); },
+                       g_smoke ? 0.05 : 0.3, 3));
+    // Cached acquire: the steady-state cost every probe now pays instead.
+    const auto keep = hm::noc::TopologyContext::acquire(arr.graph());
+    report("topology_acquire_cached.n" + std::to_string(n),
+           time_median(
+               [&] { (void)hm::noc::TopologyContext::acquire(arr.graph()); },
+               g_smoke ? 0.02 : 0.1, 3));
   }
 }
-BENCHMARK(BM_Bisection)->Arg(37)->Arg(100);
 
-void BM_RoutingTables(benchmark::State& state) {
-  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
-                                    static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    hm::noc::RoutingTables tables(arr.graph());
-    benchmark::DoNotOptimize(tables.escape_root());
-  }
-}
-BENCHMARK(BM_RoutingTables)->Arg(37)->Arg(100);
-
-void BM_SimulatorCycles(benchmark::State& state) {
+void bench_simulator_cycles() {
   // Cycle rate of a saturated HexaMesh network (routers + endpoints).
-  const auto arr = make_arrangement(ArrangementType::kHexaMesh,
-                                    static_cast<std::size_t>(state.range(0)));
-  hm::noc::SimConfig cfg;
-  hm::noc::Simulator sim(arr.graph(), cfg);
-  hm::noc::UniformRandomTraffic traffic(sim.network().num_endpoints(), 1.0,
-                                        cfg.packet_length);
-  hm::noc::Rng rng(1);
-  hm::noc::Cycle now = 0;
-  for (auto _ : state) {
-    for (std::size_t e = 0; e < sim.network().num_endpoints(); ++e) {
-      auto p = traffic.maybe_generate(static_cast<std::uint16_t>(e), now, rng);
-      if (p.has_value()) sim.network().endpoint(e).try_enqueue(*p);
-    }
-    sim.network().step(now, rng);
-    ++now;
+  for (const std::size_t n : {std::size_t{19}, std::size_t{91}}) {
+    const auto arr = make_arrangement(ArrangementType::kHexaMesh, n);
+    hm::noc::SimConfig cfg;
+    const auto topo = hm::noc::TopologyContext::acquire(arr.graph());
+    hm::noc::Simulator sim(topo, cfg);
+    hm::noc::UniformRandomTraffic traffic(sim.network().num_endpoints(), 1.0,
+                                          cfg.packet_length);
+    hm::noc::Rng rng(1);
+    hm::noc::Cycle now = 0;
+    const int cycles_per_rep = g_smoke ? 2000 : 20000;
+    auto run = [&] {
+      for (int c = 0; c < cycles_per_rep; ++c) {
+        for (std::size_t e = 0; e < sim.network().num_endpoints(); ++e) {
+          auto p =
+              traffic.maybe_generate(static_cast<std::uint16_t>(e), now, rng);
+          if (p.has_value()) sim.network().endpoint(e).try_enqueue(*p);
+        }
+        sim.network().step(now, rng);
+        ++now;
+      }
+    };
+    report("sim_cycle.n" + std::to_string(n),
+           time_median(run, g_smoke ? 0.05 : 0.5, 3), cycles_per_rep);
   }
-  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SimulatorCycles)->Arg(19)->Arg(91);
 
-void BM_EvaluateAnalytic(benchmark::State& state) {
+void bench_evaluate_analytic() {
   const auto arr = make_arrangement(ArrangementType::kHexaMesh, 91);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hm::core::evaluate_analytic(arr));
-  }
+  report("evaluate_analytic.n91",
+         time_median([&] { (void)hm::core::evaluate_analytic(arr); },
+                     g_smoke ? 0.05 : 0.3, 3));
 }
-BENCHMARK(BM_EvaluateAnalytic);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  std::printf("== micro-perf: engineering-critical paths%s ==\n",
+              g_smoke ? " (smoke)" : "");
+  bench_arrangements();
+  bench_graph();
+  bench_tables();
+  bench_simulator_cycles();
+  bench_evaluate_analytic();
+  hm::bench::update_perf_json(g_metrics);
+  return 0;
+}

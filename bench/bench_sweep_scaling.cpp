@@ -10,6 +10,8 @@
 // is identical to the paper-length sweep.
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "core/evaluator.hpp"
 #include "explore/export.hpp"
 #include "explore/sweep.hpp"
+#include "perf_json.hpp"
 
 int main() {
   using namespace hm::core;
@@ -47,7 +50,10 @@ int main() {
               "output vs 1-thread");
   hm::bench::rule(56);
 
+  std::map<std::string, double> metrics;
+  metrics["sweep21.points"] = static_cast<double>(points);
   double base_seconds = 0.0;
+  bool all_identical = true;
   std::string base_csv;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     hm::explore::SweepEngine::Options opt;
@@ -66,11 +72,28 @@ int main() {
       base_seconds = seconds;
       base_csv = csv;
     }
+    all_identical = all_identical && csv == base_csv;
+    metrics["sweep21.wall_s.t" + std::to_string(threads)] = seconds;
+    metrics["sweep21.speedup.t" + std::to_string(threads)] =
+        base_seconds / seconds;
     std::printf("%8u | %10.2f | %7.2fx | %s\n", threads, seconds,
                 base_seconds / seconds,
                 csv == base_csv ? "byte-identical" : "MISMATCH");
     std::fflush(stdout);
   }
+  metrics["sweep21.csv_byte_identical"] = all_identical ? 1.0 : 0.0;
+  // Perf trajectory across PRs: BENCH_perf.json carries reference
+  // wall-clocks of earlier engines (sweep21.seed_wall_s.t8 = the
+  // pre-topology-sharing engine on this sweep); report the speedup of the
+  // current engine against them when present.
+  const auto existing =
+      hm::bench::load_perf_json(hm::bench::perf_json_path());
+  if (const auto it = existing.find("sweep21.seed_wall_s.t8");
+      it != existing.end()) {
+    metrics["sweep21.speedup_vs_seed.t8"] =
+        it->second / metrics["sweep21.wall_s.t8"];
+  }
+  hm::bench::update_perf_json(metrics);
 
   std::printf(
       "\nExpected: near-linear speedup up to the physical core count\n"

@@ -10,6 +10,7 @@
 #include "graph/algorithms.hpp"
 #include "partition/partitioner.hpp"
 #include "noc/simulator.hpp"
+#include "noc/topology.hpp"
 
 namespace hm::core {
 
@@ -83,19 +84,49 @@ EvaluationResult evaluate(const Arrangement& arr,
                              traffic, executor);
 }
 
+EvaluationResult evaluate(const Arrangement& arr,
+                          const EvaluationParams& params,
+                          const noc::TrafficSpec& traffic,
+                          noc::ProbeExecutor* executor,
+                          std::shared_ptr<const noc::TopologyContext> topology) {
+  return evaluate_simulation(arr, params, evaluate_analytic(arr, params),
+                             traffic, executor, std::move(topology));
+}
+
 EvaluationResult evaluate_simulation(const Arrangement& arr,
                                      const EvaluationParams& params,
-                                     EvaluationResult r,
+                                     EvaluationResult analytic,
                                      const noc::TrafficSpec& traffic,
                                      noc::ProbeExecutor* executor) {
+  // One shared topology for the latency run and every saturation probe;
+  // the process-wide cache collapses repeated evaluations of the same
+  // design (e.g. traffic/simulator ablations) onto one table build.
+  return evaluate_simulation(arr, params, std::move(analytic), traffic,
+                             executor,
+                             noc::TopologyContext::acquire(arr.graph()));
+}
+
+EvaluationResult evaluate_simulation(
+    const Arrangement& arr, const EvaluationParams& params,
+    EvaluationResult r, const noc::TrafficSpec& traffic,
+    noc::ProbeExecutor* executor,
+    std::shared_ptr<const noc::TopologyContext> topology) {
   if (arr.chiplet_count() < 2) {
     throw std::invalid_argument(
         "evaluate: cycle-accurate evaluation needs >= 2 chiplets");
   }
+  if (topology == nullptr) {
+    throw std::invalid_argument("evaluate: null topology context");
+  }
+  if (topology->digest() != noc::graph_digest(arr.graph())) {
+    throw std::invalid_argument(
+        "evaluate: topology context built for a different graph");
+  }
 
-  // Zero-load latency (Fig. 7a): low injection rate, fresh simulator.
+  // Zero-load latency (Fig. 7a): low injection rate, fresh simulator on the
+  // shared topology.
   auto latency_run = [&] {
-    noc::Simulator sim(arr.graph(), params.sim);
+    noc::Simulator sim(topology, params.sim);
     sim.set_traffic(traffic);
     const auto lat = sim.run_latency(
         params.zero_load_injection_rate, params.latency_warmup,
@@ -105,13 +136,13 @@ EvaluationResult evaluate_simulation(const Arrangement& arr,
   };
 
   // Saturation throughput (Fig. 7b): binary-search the knee of the
-  // accepted-vs-offered curve (fresh network per probe).
+  // accepted-vs-offered curve (fresh network per probe, shared topology).
   auto saturation_run = [&] {
     noc::SaturationSearchOptions search;
     search.warmup = params.throughput_warmup;
     search.measure = params.throughput_measure;
     const auto sat =
-        noc::find_saturation(arr.graph(), params.sim, search, traffic,
+        noc::find_saturation(topology, params.sim, search, traffic,
                              executor);
     r.saturation_fraction = sat.accepted_flit_rate;
     r.saturation_throughput_bps =

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "core/arrangement.hpp"
 #include "core/link_model.hpp"
@@ -19,6 +20,7 @@
 
 namespace hm::noc {
 class ProbeExecutor;
+class TopologyContext;
 }  // namespace hm::noc
 
 namespace hm::core {
@@ -112,6 +114,17 @@ struct EvaluationResult {
                                         const noc::TrafficSpec& traffic = {},
                                         noc::ProbeExecutor* executor = nullptr);
 
+/// evaluate() on a pre-acquired shared topology for arr.graph(): the
+/// zero-load latency run and every saturation probe reuse `topology`
+/// read-only instead of rebuilding routing tables per fresh simulator.
+/// Throws std::invalid_argument when `topology` was built for a different
+/// graph. The overloads without a context acquire one per call, which the
+/// process-wide context cache still collapses to a single build per graph.
+[[nodiscard]] EvaluationResult evaluate(
+    const Arrangement& arr, const EvaluationParams& params,
+    const noc::TrafficSpec& traffic, noc::ProbeExecutor* executor,
+    std::shared_ptr<const noc::TopologyContext> topology);
+
 /// The simulation half of evaluate(): takes an `analytic` result already
 /// computed by evaluate_analytic(arr, params) and fills in the
 /// cycle-accurate fields. Lets callers (e.g. the sweep engine's
@@ -121,5 +134,15 @@ struct EvaluationResult {
     const Arrangement& arr, const EvaluationParams& params,
     EvaluationResult analytic, const noc::TrafficSpec& traffic = {},
     noc::ProbeExecutor* executor = nullptr);
+
+/// evaluate_simulation() on a pre-acquired shared topology (see the
+/// evaluate() context overload). This is the entry point the sweep engine
+/// uses so that one topology build serves every probe of a job — and, via
+/// the context cache, every job of the same design.
+[[nodiscard]] EvaluationResult evaluate_simulation(
+    const Arrangement& arr, const EvaluationParams& params,
+    EvaluationResult analytic, const noc::TrafficSpec& traffic,
+    noc::ProbeExecutor* executor,
+    std::shared_ptr<const noc::TopologyContext> topology);
 
 }  // namespace hm::core

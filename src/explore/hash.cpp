@@ -1,34 +1,6 @@
 #include "explore/hash.hpp"
 
-#include <bit>
-
 namespace hm::explore {
-
-namespace {
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-}  // namespace
-
-StableHash& StableHash::mix(std::uint64_t v) noexcept {
-  for (int byte = 0; byte < 8; ++byte) {
-    h_ ^= (v >> (8 * byte)) & 0xffULL;
-    h_ *= kFnvPrime;
-  }
-  return *this;
-}
-
-StableHash& StableHash::mix_i(std::int64_t v) noexcept {
-  return mix(static_cast<std::uint64_t>(v));
-}
-
-StableHash& StableHash::mix_f(double v) noexcept {
-  return mix(std::bit_cast<std::uint64_t>(v));
-}
-
-std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
-  StableHash h;
-  h.mix(a).mix(b);
-  return h.value();
-}
 
 std::uint64_t hash_arrangement(const core::Arrangement& arr) {
   StableHash h;

@@ -13,26 +13,15 @@
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
 #include "noc/traffic.hpp"
+#include "util/stable_hash.hpp"
 
 namespace hm::explore {
 
-/// FNV-1a (64-bit) accumulator over explicitly serialized fields.
-class StableHash {
- public:
-  StableHash& mix(std::uint64_t v) noexcept;
-  StableHash& mix_i(std::int64_t v) noexcept;
-  StableHash& mix_f(double v) noexcept;  ///< bit pattern (-0.0 != +0.0)
-  StableHash& mix_b(bool v) noexcept { return mix(v ? 1 : 0); }
-
-  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
-
- private:
-  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV offset basis
-};
-
-/// Order-independent-of-nothing combiner: mixes `b` into `a` (asymmetric).
-[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a,
-                                         std::uint64_t b) noexcept;
+/// The accumulator itself lives in util/stable_hash.hpp so lower layers
+/// (e.g. the noc topology-context cache) can key on the same digests;
+/// re-exported here for the exploration layer's existing callers.
+using util::StableHash;
+using util::hash_combine;
 
 /// Digest of the arrangement's identity: type, regularity, lattice
 /// coordinates and adjacency edges (sorted, so any graph construction order

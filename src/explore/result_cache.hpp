@@ -2,6 +2,12 @@
 // hashes of explore/hash.hpp. Repeated probes of the same (arrangement,
 // params) — e.g. the analytic half of evaluate() shared across traffic
 // ablations, or a re-run of an extended sweep — are computed once.
+//
+// This is the top of a two-level sharing scheme: ResultCache shares whole
+// EvaluationResults across identical design points, while the process-wide
+// noc::TopologyContext intern cache (keyed by the same util::StableHash
+// digests) shares the routing tables underneath points that differ only in
+// seeds, simulator knobs or traffic.
 #pragma once
 
 #include <atomic>

@@ -6,6 +6,7 @@
 
 #include "explore/hash.hpp"
 #include "noc/rng.hpp"
+#include "noc/topology.hpp"
 
 namespace hm::explore {
 
@@ -93,8 +94,12 @@ SweepRecord SweepEngine::evaluate_point(const SweepPoint& point) {
           hash_combine(analytic_key, hash_simulation_params(point.params)),
           hash_traffic(point.traffic));
       rec.result = cached_eval(full_key, [&] {
-        return core::evaluate_simulation(arr, point.params, analytic,
-                                         point.traffic, executor);
+        // One shared topology per job chain; the process-wide context
+        // cache additionally shares it across concurrent jobs that ablate
+        // the same design (different seeds/params/traffic, same graph).
+        return core::evaluate_simulation(
+            arr, point.params, analytic, point.traffic, executor,
+            noc::TopologyContext::acquire(arr.graph()));
       });
     }
   } catch (const std::exception& e) {

@@ -12,7 +12,10 @@
 //     exports compare equal byte for byte).
 //   * Caching — results are keyed by stable content hashes, so the analytic
 //     half of a design shared across traffic ablations is computed once,
-//     and re-running an extended sweep only simulates the new points.
+//     and re-running an extended sweep only simulates the new points. The
+//     cycle-accurate half runs on a shared immutable noc::TopologyContext,
+//     so the routing tables of a design are built once per job chain (and
+//     shared across jobs ablating the same graph), not once per probe.
 //   * Collection — results arrive as an index-ordered SweepRecord vector
 //     with CSV/JSON writers (explore/export.hpp) and a progress callback,
 //     replacing the hand-rolled printf loops of the bench drivers.

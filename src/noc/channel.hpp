@@ -1,56 +1,52 @@
 // Fixed-latency channels: flits and credits are scheduled with an arrival
 // cycle and delivered in FIFO order. Arrival times are monotone because the
-// sender schedules at (now + constant latency), so a deque suffices.
+// sender schedules at (now + constant latency), so a FIFO ring suffices; the
+// in-flight count is bounded by the link latency (one push per cycle, and
+// everything older than `latency` cycles has already been delivered), which
+// lets Network pre-size every channel for allocation-free steady state.
 #pragma once
 
 #include <cassert>
-#include <deque>
 #include <utility>
 
 #include "noc/flit.hpp"
+#include "noc/ring_buffer.hpp"
 
 namespace hm::noc {
 
-/// FIFO delay line carrying flits.
-class FlitChannel {
+/// FIFO delay line carrying `Payload` values tagged with an arrival cycle.
+template <typename Payload>
+class TimedRing {
  public:
-  void push(const Flit& f, Cycle arrival) {
-    assert(q_.empty() || q_.back().first <= arrival);
-    q_.emplace_back(arrival, f);
+  /// Pre-sizes the ring (see Network; the channel still grows if exceeded).
+  void reserve(std::size_t min_capacity) { q_.reserve(min_capacity); }
+
+  void push(const Payload& v, Cycle arrival) {
+    assert(q_.empty() || q_.back().at <= arrival);
+    q_.push_back(Slot{arrival, v});
   }
   [[nodiscard]] bool ready(Cycle now) const {
-    return !q_.empty() && q_.front().first <= now;
+    return !q_.empty() && q_.front().at <= now;
   }
-  Flit pop() {
-    Flit f = q_.front().second;
+  Payload pop() {
+    Payload v = q_.front().v;
     q_.pop_front();
-    return f;
+    return v;
   }
   [[nodiscard]] std::size_t in_flight() const { return q_.size(); }
 
  private:
-  std::deque<std::pair<Cycle, Flit>> q_;
+  struct Slot {
+    Cycle at = 0;
+    Payload v{};
+  };
+  RingQueue<Slot> q_;
 };
+
+/// FIFO delay line carrying flits.
+using FlitChannel = TimedRing<Flit>;
 
 /// FIFO delay line carrying credit returns (the VC being credited).
-class CreditChannel {
- public:
-  void push(int vc, Cycle arrival) {
-    assert(q_.empty() || q_.back().first <= arrival);
-    q_.emplace_back(arrival, vc);
-  }
-  [[nodiscard]] bool ready(Cycle now) const {
-    return !q_.empty() && q_.front().first <= now;
-  }
-  int pop() {
-    const int vc = q_.front().second;
-    q_.pop_front();
-    return vc;
-  }
-  [[nodiscard]] std::size_t in_flight() const { return q_.size(); }
-
- private:
-  std::deque<std::pair<Cycle, int>> q_;
-};
+using CreditChannel = TimedRing<int>;
 
 }  // namespace hm::noc

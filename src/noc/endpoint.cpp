@@ -8,6 +8,7 @@ namespace hm::noc {
 Endpoint::Endpoint(std::uint16_t id, const SimConfig& cfg)
     : id_(id), cfg_(cfg) {
   credits_.assign(cfg_.vcs, cfg_.buffer_depth);
+  queue_.reserve(static_cast<std::size_t>(cfg_.source_queue_capacity));
 }
 
 void Endpoint::wire_injection(FlitChannel* channel, int latency) {
@@ -95,7 +96,7 @@ void Endpoint::set_measurement_window(Cycle begin, Cycle end) {
 
 std::size_t Endpoint::pending_flits() const noexcept {
   std::size_t flits = 0;
-  for (const Packet& p : queue_) flits += p.length;
+  for (std::size_t i = 0; i < queue_.size(); ++i) flits += queue_[i].length;
   // Subtract the part of the front packet that has already been injected.
   flits -= static_cast<std::size_t>(next_flit_);
   return flits;

@@ -5,13 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <vector>
 
 #include "noc/channel.hpp"
 #include "noc/config.hpp"
 #include "noc/flit.hpp"
+#include "noc/ring_buffer.hpp"
 
 namespace hm::noc {
 
@@ -68,7 +68,7 @@ class Endpoint {
   FlitChannel* inj_channel_ = nullptr;
   int inj_latency_ = 1;
 
-  std::deque<Packet> queue_;
+  RingQueue<Packet> queue_;  ///< bounded by source_queue_capacity
   std::vector<int> credits_;  ///< per router-input VC
   int active_vc_ = -1;        ///< VC of the packet being serialized
   int next_flit_ = 0;         ///< next flit index of the active packet

@@ -1,136 +1,138 @@
 #include "noc/network.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace hm::noc {
 
-namespace {
+Network::Network(const graph::Graph& g, const SimConfig& cfg)
+    : Network(TopologyContext::acquire(g), cfg) {}
 
-/// Index of `u` within the sorted neighbour list of `v` (v's port toward u).
-std::size_t port_of(const graph::Graph& g, graph::NodeId v, graph::NodeId u) {
-  const auto nbrs = g.neighbors(v);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
-  if (it == nbrs.end() || *it != u) {
-    throw std::logic_error("Network: port_of called for non-neighbour");
+Network::Network(std::shared_ptr<const TopologyContext> topo,
+                 const SimConfig& cfg)
+    : cfg_(cfg), topo_(std::move(topo)) {
+  if (topo_ == nullptr) {
+    throw std::invalid_argument("Network: null topology context");
   }
-  return static_cast<std::size_t>(it - nbrs.begin());
-}
-
-}  // namespace
-
-Network::Network(const graph::Graph& g, const SimConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
+  const graph::Graph& g = topo_->graph();
   const std::size_t n = g.node_count();
   const std::size_t eps = static_cast<std::size_t>(cfg_.endpoints_per_chiplet);
   if (n * eps > 0xFFFF) {
     throw std::invalid_argument("Network: endpoint ids must fit in 16 bits");
   }
 
-  tables_ = std::make_unique<RoutingTables>(g);
-
+  // All storage is by value: reserve exact element counts up front so the
+  // channel/router addresses taken during wiring stay valid.
   routers_.reserve(n);
   for (graph::NodeId r = 0; r < n; ++r) {
-    routers_.push_back(std::make_unique<Router>(r, cfg_, tables_.get()));
+    routers_.emplace_back(r, cfg_, &topo_->tables());
   }
 
-  // Two directed channels per undirected edge.
-  for (const auto& [a, b] : g.edges()) {
-    for (int dir = 0; dir < 2; ++dir) {
-      auto link = std::make_unique<RouterLink>();
-      link->from = dir == 0 ? a : b;
-      link->to = dir == 0 ? b : a;
-      link->out_port_at_from = port_of(g, link->from, link->to);
-      link->in_port_at_to = port_of(g, link->to, link->from);
-      routers_[link->from]->wire_output(link->out_port_at_from, &link->flits,
-                                        cfg_.link_latency);
-      routers_[link->to]->wire_credit_return(link->in_port_at_to,
-                                             &link->credits,
-                                             cfg_.link_latency);
-      links_.push_back(std::move(link));
-    }
+  // Two directed channels per undirected edge, wired from the context's
+  // precomputed port map. A channel holds at most `latency` entries (one
+  // push per cycle; older entries have been delivered), so pre-size to that.
+  const auto directed = topo_->directed_links();
+  links_.resize(directed.size());
+  for (std::size_t i = 0; i < directed.size(); ++i) {
+    const auto& d = directed[i];
+    RouterLink& link = links_[i];
+    link.from = d.from;
+    link.to = d.to;
+    link.out_port_at_from = d.out_port_at_from;
+    link.in_port_at_to = d.in_port_at_to;
+    link.flits.reserve(static_cast<std::size_t>(cfg_.link_latency) + 1);
+    link.credits.reserve(static_cast<std::size_t>(cfg_.link_latency) + 1);
+    routers_[link.from].wire_output(link.out_port_at_from, &link.flits,
+                                    cfg_.link_latency);
+    routers_[link.to].wire_credit_return(link.in_port_at_to, &link.credits,
+                                         cfg_.link_latency);
   }
 
   // Endpoints and their injection/ejection channels.
   endpoints_.reserve(n * eps);
-  ep_channels_.reserve(n * eps);
+  ep_channels_.resize(n * eps);
   for (std::size_t e = 0; e < n * eps; ++e) {
     const auto router = static_cast<graph::NodeId>(e / eps);
     const std::size_t local = e % eps;
     const std::size_t port = g.degree(router) + local;
 
-    auto chans = std::make_unique<EndpointChannels>();
-    auto ep = std::make_unique<Endpoint>(static_cast<std::uint16_t>(e), cfg_);
-    ep->wire_injection(&chans->injection, cfg_.injection_link_latency);
-    routers_[router]->wire_credit_return(port, &chans->inj_credits,
-                                         cfg_.injection_link_latency);
-    routers_[router]->wire_output(port, &chans->ejection,
-                                  cfg_.ejection_link_latency);
-    endpoints_.push_back(std::move(ep));
-    ep_channels_.push_back(std::move(chans));
+    EndpointChannels& chans = ep_channels_[e];
+    chans.injection.reserve(
+        static_cast<std::size_t>(cfg_.injection_link_latency) + 1);
+    chans.inj_credits.reserve(
+        static_cast<std::size_t>(cfg_.injection_link_latency) + 1);
+    chans.ejection.reserve(
+        static_cast<std::size_t>(cfg_.ejection_link_latency) + 1);
+    Endpoint& ep =
+        endpoints_.emplace_back(static_cast<std::uint16_t>(e), cfg_);
+    ep.wire_injection(&chans.injection, cfg_.injection_link_latency);
+    routers_[router].wire_credit_return(port, &chans.inj_credits,
+                                        cfg_.injection_link_latency);
+    routers_[router].wire_output(port, &chans.ejection,
+                                 cfg_.ejection_link_latency);
   }
 }
 
 void Network::step(Cycle now, Rng& rng) {
   // 1. Deliver everything arriving this cycle.
   for (auto& link : links_) {
-    while (link->flits.ready(now)) {
-      routers_[link->to]->receive_flit(link->in_port_at_to, link->flits.pop(),
-                                       now);
+    while (link.flits.ready(now)) {
+      routers_[link.to].receive_flit(link.in_port_at_to, link.flits.pop(),
+                                     now);
     }
-    while (link->credits.ready(now)) {
-      routers_[link->from]->receive_credit(link->out_port_at_from,
-                                           link->credits.pop());
+    while (link.credits.ready(now)) {
+      routers_[link.from].receive_credit(link.out_port_at_from,
+                                         link.credits.pop());
     }
   }
   const std::size_t eps = static_cast<std::size_t>(cfg_.endpoints_per_chiplet);
   for (std::size_t e = 0; e < endpoints_.size(); ++e) {
-    auto& chans = *ep_channels_[e];
+    EndpointChannels& chans = ep_channels_[e];
     const auto router = e / eps;
-    const std::size_t port = routers_[router]->network_ports() + e % eps;
+    const std::size_t port = routers_[router].network_ports() + e % eps;
     while (chans.injection.ready(now)) {
-      routers_[router]->receive_flit(port, chans.injection.pop(), now);
+      routers_[router].receive_flit(port, chans.injection.pop(), now);
     }
     while (chans.inj_credits.ready(now)) {
-      endpoints_[e]->receive_credit(chans.inj_credits.pop());
+      endpoints_[e].receive_credit(chans.inj_credits.pop());
     }
     while (chans.ejection.ready(now)) {
-      endpoints_[e]->receive_flit(chans.ejection.pop(), now);
+      endpoints_[e].receive_flit(chans.ejection.pop(), now);
     }
   }
 
   // 2. Endpoints inject.
-  for (auto& ep : endpoints_) ep->inject(now);
+  for (auto& ep : endpoints_) ep.inject(now);
 
   // 3. Routers advance.
-  for (auto& r : routers_) r->step(now, rng);
+  for (auto& r : routers_) r.step(now, rng);
 }
 
 std::size_t Network::flits_in_network() const {
   std::size_t total = 0;
-  for (const auto& r : routers_) total += r->buffered_flits();
-  for (const auto& link : links_) total += link->flits.in_flight();
+  for (const auto& r : routers_) total += r.buffered_flits();
+  for (const auto& link : links_) total += link.flits.in_flight();
   for (const auto& chans : ep_channels_) {
-    total += chans->injection.in_flight() + chans->ejection.in_flight();
+    total += chans.injection.in_flight() + chans.ejection.in_flight();
   }
   return total;
 }
 
 std::uint64_t Network::total_flits_injected() const {
   std::uint64_t total = 0;
-  for (const auto& ep : endpoints_) total += ep->flits_injected();
+  for (const auto& ep : endpoints_) total += ep.flits_injected();
   return total;
 }
 
 std::uint64_t Network::total_flits_ejected() const {
   std::uint64_t total = 0;
-  for (const auto& ep : endpoints_) total += ep->sink().flits_ejected;
+  for (const auto& ep : endpoints_) total += ep.sink().flits_ejected;
   return total;
 }
 
 bool Network::invariants_ok(std::string* why) const {
   for (const auto& r : routers_) {
-    if (!r->invariants_ok(why)) return false;
+    if (!r.invariants_ok(why)) return false;
   }
   if (total_flits_injected() !=
       total_flits_ejected() + flits_in_network()) {

@@ -2,6 +2,14 @@
 // directed channels per D2D link (edge), and `endpoints_per_chiplet`
 // endpoints per router, exactly as the paper configures BookSim2
 // (Sec. VI-A). Pure transport: traffic generation lives in the Simulator.
+//
+// A Network is the mutable per-probe state (buffers, credits, statistics)
+// built on top of an immutable shared TopologyContext (graph, routing
+// tables, port maps). Routers, endpoints and channels are stored by value
+// in contiguous vectors — sized exactly and wired once during construction,
+// so the per-cycle step() walks flat arrays instead of chasing unique_ptr
+// indirections, and every ring buffer is pre-sized to its occupancy bound
+// (steady-state stepping does no heap allocation).
 #pragma once
 
 #include <memory>
@@ -15,14 +23,20 @@
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
 #include "noc/rng.hpp"
+#include "noc/topology.hpp"
 
 namespace hm::noc {
 
 /// A ready-to-run network instance built from an arrangement graph.
 class Network {
  public:
-  /// Builds routers, endpoints, channels and routing tables for `g`
-  /// (connected, >= 1 vertex). The graph is only read during construction.
+  /// Builds routers, endpoints and channels on a shared topology (connected,
+  /// >= 1 vertex). The context is held read-only for the network's lifetime;
+  /// any number of concurrent networks may share one context.
+  Network(std::shared_ptr<const TopologyContext> topo, const SimConfig& cfg);
+
+  /// Convenience: acquires the shared context for `g` (building routing
+  /// tables only when no live context for an equal graph exists).
   Network(const graph::Graph& g, const SimConfig& cfg);
 
   Network(const Network&) = delete;
@@ -37,13 +51,20 @@ class Network {
   [[nodiscard]] std::size_t num_endpoints() const noexcept {
     return endpoints_.size();
   }
-  [[nodiscard]] Endpoint& endpoint(std::size_t e) { return *endpoints_[e]; }
+  [[nodiscard]] Endpoint& endpoint(std::size_t e) { return endpoints_[e]; }
   [[nodiscard]] const Endpoint& endpoint(std::size_t e) const {
-    return *endpoints_[e];
+    return endpoints_[e];
   }
-  [[nodiscard]] Router& router(std::size_t r) { return *routers_[r]; }
+  [[nodiscard]] Router& router(std::size_t r) { return routers_[r]; }
   [[nodiscard]] const RoutingTables& tables() const noexcept {
-    return *tables_;
+    return topo_->tables();
+  }
+  [[nodiscard]] const TopologyContext& topology() const noexcept {
+    return *topo_;
+  }
+  [[nodiscard]] const std::shared_ptr<const TopologyContext>&
+  topology_ptr() const noexcept {
+    return topo_;
   }
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
 
@@ -73,11 +94,11 @@ class Network {
   };
 
   SimConfig cfg_;
-  std::unique_ptr<RoutingTables> tables_;
-  std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::vector<std::unique_ptr<RouterLink>> links_;
-  std::vector<std::unique_ptr<EndpointChannels>> ep_channels_;
+  std::shared_ptr<const TopologyContext> topo_;
+  std::vector<Router> routers_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<RouterLink> links_;
+  std::vector<EndpointChannels> ep_channels_;
 };
 
 }  // namespace hm::noc

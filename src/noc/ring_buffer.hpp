@@ -1,0 +1,87 @@
+// Cache-friendly FIFO ring over a contiguous power-of-two slot array.
+//
+// The simulation hot path (router input VCs, delay-line channels, endpoint
+// source queues) previously used std::deque, whose chunked storage costs an
+// indirection per access and an allocation every few pushes. Every queue in
+// the network has a provable occupancy bound (credits bound input VCs, the
+// link latency bounds in-flight flits, source_queue_capacity bounds the
+// source queue), so Network reserves each ring to its bound up front and the
+// steady state runs allocation-free. A push beyond the current capacity
+// still grows the ring (correctness never depends on the reservation).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace hm::noc {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  /// Ensures room for `min_capacity` elements without further allocation.
+  void reserve(std::size_t min_capacity) {
+    if (min_capacity > slots_.size()) regrow(min_capacity);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] T& front() {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& back() const {
+    assert(size_ > 0);
+    return slots_[(head_ + size_ - 1) & mask_];
+  }
+  /// i-th element from the front (0 == front()).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == slots_.size()) regrow(size_ + 1);
+    slots_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void regrow(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = slots_[(head_ + i) & mask_];
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace hm::noc

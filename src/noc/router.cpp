@@ -1,5 +1,7 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -14,14 +16,18 @@ Router::Router(std::uint32_t id, const SimConfig& cfg,
       n_ports_(n_network_ports_ +
                static_cast<std::size_t>(cfg.endpoints_per_chiplet)) {
   cfg_.validate();
-  in_.assign(n_ports_, std::vector<InputVc>(cfg_.vcs));
-  out_.assign(n_ports_, std::vector<OutputVc>(cfg_.vcs));
+  const std::size_t vcs = static_cast<std::size_t>(cfg_.vcs);
+  in_.resize(n_ports_ * vcs);
+  for (auto& iv : in_) {
+    iv.buf.reserve(static_cast<std::size_t>(cfg_.buffer_depth));
+  }
+  out_.resize(n_ports_ * vcs);
   for (std::size_t p = 0; p < n_ports_; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
       // Network outputs start with the downstream buffer depth; ejection
       // outputs are modelled with effectively infinite credits (the endpoint
       // always sinks flits; the port still serializes 1 flit/cycle).
-      out_[p][v].credits =
+      out_[static_cast<std::size_t>(flat(p, v))].credits =
           p < n_network_ports_ ? cfg_.buffer_depth : (1 << 30);
     }
   }
@@ -30,6 +36,11 @@ Router::Router(std::uint32_t id, const SimConfig& cfg,
   credit_channel_.assign(n_ports_, nullptr);
   credit_latency_.assign(n_ports_, 1);
   sa_in_rr_.assign(n_ports_, 0);
+  sa_in_port_used_.assign(n_ports_, 0);
+  sa_out_port_used_.assign(n_ports_, 0);
+  mask_words_ = (n_ports_ * vcs + 63) / 64;
+  sa_request_mask_.assign(n_ports_ * mask_words_, 0);
+  free_adaptive_.assign(n_ports_, cfg_.vcs - 1);
 }
 
 void Router::wire_output(std::size_t port, FlitChannel* channel, int latency) {
@@ -52,7 +63,7 @@ void Router::wire_credit_return(std::size_t port, CreditChannel* channel,
 void Router::receive_flit(std::size_t port, Flit f, Cycle now) {
   assert(port < n_ports_);
   assert(f.vc < cfg_.vcs);
-  InputVc& iv = in_[port][f.vc];
+  InputVc& iv = in_[static_cast<std::size_t>(flat(port, f.vc))];
   assert(iv.buf.size() <
          static_cast<std::size_t>(cfg_.buffer_depth));  // credits guarantee
   f.ready_time = now + cfg_.router_latency;
@@ -61,11 +72,12 @@ void Router::receive_flit(std::size_t port, Flit f, Cycle now) {
 
 void Router::receive_credit(std::size_t port, int vc) {
   assert(port < n_network_ports_);
-  ++out_[port][vc].credits;
-  assert(out_[port][vc].credits <= cfg_.buffer_depth);
+  ++out_[static_cast<std::size_t>(flat(port, vc))].credits;
+  assert(out_[static_cast<std::size_t>(flat(port, vc))].credits <=
+         cfg_.buffer_depth);
 }
 
-void Router::route_compute(InputVc& iv) {
+void Router::route_compute(InputVc& iv, int iv_flat) {
   const Flit& head = iv.buf.front();
   assert(head.head);
   if (head.dst_router == id_) {
@@ -81,6 +93,7 @@ void Router::route_compute(InputVc& iv) {
     iv.flits_sent = 0;
     iv.blocked_cycles = 0;
     iv.state = VcState::kActive;
+    mark_request(static_cast<std::size_t>(iv.out_port), iv_flat);
   } else {
     iv.out_is_ejection = false;
     iv.blocked_cycles = 0;
@@ -95,7 +108,7 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
   const bool use_minimal = cfg_.routing != RoutingMode::kUpDownOnly &&
                            !head.escape && cfg_.vcs > 1;
   if (use_minimal) {
-    const auto& ports = tables_->minimal_ports(id_, dst);
+    const auto ports = tables_->minimal_ports(id_, dst);
     std::size_t first = 0;
     std::size_t count = ports.size();
     if (cfg_.routing == RoutingMode::kDeterministicMinimal) {
@@ -107,15 +120,18 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
     }
     for (std::size_t i = 0; i < count; ++i) {
       const int port = ports[(i + first) % ports.size()];
+      if (free_adaptive_[static_cast<std::size_t>(port)] == 0) continue;
       for (int vc = 1; vc < cfg_.vcs; ++vc) {
-        OutputVc& ov = out_[port][vc];
+        OutputVc& ov = out_[static_cast<std::size_t>(flat(port, vc))];
         if (ov.owner < 0) {
           ov.owner = iv_flat;
+          --free_adaptive_[static_cast<std::size_t>(port)];
           iv.out_port = port;
           iv.out_vc = vc;
           iv.escape = false;
           iv.flits_sent = 0;
           iv.state = VcState::kActive;
+          mark_request(static_cast<std::size_t>(port), iv_flat);
           return true;
         }
       }
@@ -135,15 +151,17 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
     const int vc_lo = 0;
     const int vc_hi = cfg_.routing == RoutingMode::kUpDownOnly ? cfg_.vcs : 1;
     for (int vc = vc_lo; vc < vc_hi; ++vc) {
-      OutputVc& ov = out_[hop.port][vc];
+      OutputVc& ov = out_[static_cast<std::size_t>(flat(hop.port, vc))];
       if (ov.owner < 0) {
         ov.owner = iv_flat;
+        if (vc >= 1) --free_adaptive_[hop.port];
         iv.out_port = hop.port;
         iv.out_vc = vc;
         iv.escape = true;
         iv.next_phase = hop.next_phase;
         iv.flits_sent = 0;
         iv.state = VcState::kActive;
+        mark_request(hop.port, iv_flat);
         return true;
       }
     }
@@ -154,23 +172,21 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
 
 void Router::step(Cycle now, Rng& rng) {
   now_ = now;
-  const int total_vcs = static_cast<int>(n_ports_) * cfg_.vcs;
+  const int total_vcs = static_cast<int>(in_.size());
 
   // --- RC: classify fresh heads -------------------------------------------
-  for (std::size_t p = 0; p < n_ports_; ++p) {
-    for (int v = 0; v < cfg_.vcs; ++v) {
-      InputVc& iv = in_[p][v];
-      if (iv.state == VcState::kIdle && !iv.buf.empty()) {
-        assert(iv.buf.front().head);
-        route_compute(iv);
-      }
+  for (int idx = 0; idx < total_vcs; ++idx) {
+    InputVc& iv = in_[static_cast<std::size_t>(idx)];
+    if (iv.state == VcState::kIdle && !iv.buf.empty()) {
+      assert(iv.buf.front().head);
+      route_compute(iv, idx);
     }
   }
 
   // --- VA: allocate output VCs in round-robin order ------------------------
   for (int i = 0; i < total_vcs; ++i) {
     const int idx = (va_rr_ + i) % total_vcs;
-    InputVc& iv = in_vc(idx);
+    InputVc& iv = in_[static_cast<std::size_t>(idx)];
     if (iv.state == VcState::kNeedsVc) {
       try_allocate_vc(iv, idx, rng);
     }
@@ -185,31 +201,27 @@ void Router::step(Cycle now, Rng& rng) {
 }
 
 void Router::switch_allocate(Cycle now) {
-  const int total_vcs = static_cast<int>(n_ports_) * cfg_.vcs;
-  std::vector<char> in_port_used(n_ports_, 0);
-  std::vector<char> out_port_used(n_ports_, 0);
+  const int total_vcs = static_cast<int>(in_.size());
+  std::fill(sa_in_port_used_.begin(), sa_in_port_used_.end(), 0);
+  std::fill(sa_out_port_used_.begin(), sa_out_port_used_.end(), 0);
 
-  // iSLIP-style iterations: each pass matches still-unmatched output ports
-  // to still-unmatched input ports.
-  for (int iter = 0; iter < cfg_.sa_iterations; ++iter) {
-  bool granted_any = false;
-  for (std::size_t i = 0; i < n_ports_; ++i) {
-    const std::size_t out_p = (static_cast<std::size_t>(sa_out_rr_) + i) %
-                              n_ports_;
-    if (out_channel_[out_p] == nullptr || out_port_used[out_p]) continue;
+  // Examines the requesters of `out_p` in round-robin order starting at
+  // sa_in_rr_[out_p] (exactly the order the former linear scan over every
+  // input VC produced), but walks only set bits of the request mask.
+  // Returns true when a flit was granted.
+  auto grant_one = [&](std::size_t out_p) {
+    const std::uint64_t* mask = &sa_request_mask_[out_p * mask_words_];
+    const int start = sa_in_rr_[out_p];
 
-    // Pick one requesting input VC in round-robin order.
-    for (int j = 0; j < total_vcs; ++j) {
-      const int idx = (sa_in_rr_[out_p] + j) % total_vcs;
-      InputVc& iv = in_vc(idx);
+    auto try_grant = [&](int idx) {
+      InputVc& iv = in_[static_cast<std::size_t>(idx)];
       const auto in_port = static_cast<std::size_t>(idx) /
                            static_cast<std::size_t>(cfg_.vcs);
-      if (iv.state != VcState::kActive || iv.buf.empty()) continue;
-      if (iv.out_port != static_cast<int>(out_p)) continue;
-      if (in_port_used[in_port]) continue;
-      if (iv.buf.front().ready_time > now) continue;
-      OutputVc& ov = out_[out_p][iv.out_vc];
-      if (ov.credits <= 0) continue;
+      if (iv.buf.empty()) return false;
+      if (sa_in_port_used_[in_port]) return false;
+      if (iv.buf.front().ready_time > now) return false;
+      OutputVc& ov = out_[static_cast<std::size_t>(flat(out_p, iv.out_vc))];
+      if (ov.credits <= 0) return false;
 
       // Grant: traverse the switch and the output link.
       Flit f = iv.buf.front();
@@ -222,9 +234,8 @@ void Router::switch_allocate(Cycle now) {
       out_channel_[out_p]->push(f, now + out_latency_[out_p]);
       --ov.credits;
       ++iv.flits_sent;
-      in_port_used[in_port] = 1;
-      out_port_used[out_p] = 1;
-      granted_any = true;
+      sa_in_port_used_[in_port] = 1;
+      sa_out_port_used_[out_p] = 1;
 
       // Return a credit for the freed buffer slot upstream.
       if (credit_channel_[in_port] != nullptr) {
@@ -236,7 +247,11 @@ void Router::switch_allocate(Cycle now) {
 
       if (f.tail) {
         // Release the input VC and (for network outputs) the output VC.
-        if (!iv.out_is_ejection) ov.owner = -1;
+        if (!iv.out_is_ejection) {
+          ov.owner = -1;
+          if (iv.out_vc >= 1) ++free_adaptive_[out_p];
+        }
+        clear_request(out_p, idx);
         iv.state = VcState::kIdle;
         iv.out_port = -1;
         iv.out_vc = -1;
@@ -245,43 +260,74 @@ void Router::switch_allocate(Cycle now) {
         iv.flits_sent = 0;
       }
       sa_in_rr_[out_p] = (idx + 1) % total_vcs;
-      break;
+      return true;
+    };
+
+    // Word walk in circular flat-id order: the start word masked to bits
+    // >= start, the remaining words wrapping around, then the start word's
+    // low bits.
+    const std::size_t sw = static_cast<std::size_t>(start) >> 6;
+    const std::uint64_t high = ~0ULL << (start & 63);
+    std::uint64_t m = mask[sw] & high;
+    for (std::size_t step = 0; step <= mask_words_; ++step) {
+      const std::size_t w =
+          step == 0 ? sw
+                    : (step == mask_words_ ? sw : (sw + step) % mask_words_);
+      if (step == mask_words_) m = mask[sw] & ~high;
+      while (m != 0) {
+        const int idx =
+            static_cast<int>(w << 6) + std::countr_zero(m);
+        m &= m - 1;
+        if (try_grant(idx)) return true;
+      }
+      if (step + 1 < mask_words_) m = mask[(sw + step + 1) % mask_words_];
     }
-  }
-  if (!granted_any) break;  // no further matches possible
+    return false;
+  };
+
+  // iSLIP-style iterations: each pass matches still-unmatched output ports
+  // to still-unmatched input ports.
+  for (int iter = 0; iter < cfg_.sa_iterations; ++iter) {
+    bool granted_any = false;
+    for (std::size_t i = 0; i < n_ports_; ++i) {
+      const std::size_t out_p = (static_cast<std::size_t>(sa_out_rr_) + i) %
+                                n_ports_;
+      if (out_channel_[out_p] == nullptr || sa_out_port_used_[out_p]) continue;
+      if (grant_one(out_p)) granted_any = true;
+    }
+    if (!granted_any) break;  // no further matches possible
   }
   sa_out_rr_ = (sa_out_rr_ + 1) % static_cast<int>(n_ports_);
 }
 
 void Router::revoke_blocked_heads() {
-  for (std::size_t p = 0; p < n_ports_; ++p) {
-    for (int v = 0; v < cfg_.vcs; ++v) {
-      InputVc& iv = in_[p][v];
-      if (iv.state != VcState::kActive || iv.out_is_ejection) continue;
-      if (iv.flits_sent > 0) continue;  // header already left: must stay
-      if (iv.buf.empty() || iv.buf.front().ready_time > now_) continue;
-      OutputVc& ov = out_[iv.out_port][iv.out_vc];
-      if (ov.credits > 0) continue;  // not blocked, just lost arbitration
-      // Header is blocked with zero progress: release the allocation so the
-      // next VA round can try other minimal ports or the escape VC. This
-      // must count toward the escape threshold, otherwise a header cycling
-      // through allocate/revoke on credit-starved VCs would never become
-      // eligible for the escape network.
-      ov.owner = -1;
-      iv.out_port = -1;
-      iv.out_vc = -1;
-      iv.escape = false;
-      iv.state = VcState::kNeedsVc;
-      ++iv.blocked_cycles;
-    }
+  const int total_vcs = static_cast<int>(in_.size());
+  for (int idx = 0; idx < total_vcs; ++idx) {
+    InputVc& iv = in_[static_cast<std::size_t>(idx)];
+    if (iv.state != VcState::kActive || iv.out_is_ejection) continue;
+    if (iv.flits_sent > 0) continue;  // header already left: must stay
+    if (iv.buf.empty() || iv.buf.front().ready_time > now_) continue;
+    OutputVc& ov = out_[static_cast<std::size_t>(flat(iv.out_port, iv.out_vc))];
+    if (ov.credits > 0) continue;  // not blocked, just lost arbitration
+    // Header is blocked with zero progress: release the allocation so the
+    // next VA round can try other minimal ports or the escape VC. This
+    // must count toward the escape threshold, otherwise a header cycling
+    // through allocate/revoke on credit-starved VCs would never become
+    // eligible for the escape network.
+    ov.owner = -1;
+    if (iv.out_vc >= 1) ++free_adaptive_[static_cast<std::size_t>(iv.out_port)];
+    clear_request(static_cast<std::size_t>(iv.out_port), idx);
+    iv.out_port = -1;
+    iv.out_vc = -1;
+    iv.escape = false;
+    iv.state = VcState::kNeedsVc;
+    ++iv.blocked_cycles;
   }
 }
 
 std::size_t Router::buffered_flits() const {
   std::size_t total = 0;
-  for (const auto& port : in_) {
-    for (const auto& vc : port) total += vc.buf.size();
-  }
+  for (const auto& iv : in_) total += iv.buf.size();
   return total;
 }
 
@@ -292,7 +338,7 @@ bool Router::invariants_ok(std::string* why) const {
   };
   for (std::size_t p = 0; p < n_ports_; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
-      const InputVc& iv = in_[p][v];
+      const InputVc& iv = in_[static_cast<std::size_t>(flat(p, v))];
       if (iv.buf.size() > static_cast<std::size_t>(cfg_.buffer_depth)) {
         return fail("input buffer overflow");
       }
@@ -302,13 +348,15 @@ bool Router::invariants_ok(std::string* why) const {
       }
       if (iv.state == VcState::kActive && !iv.out_is_ejection) {
         if (iv.out_port < 0 || iv.out_vc < 0) return fail("active without VC");
-        const OutputVc& ov = out_[iv.out_port][iv.out_vc];
+        const OutputVc& ov =
+            out_[static_cast<std::size_t>(flat(iv.out_port, iv.out_vc))];
         if (ov.owner != flat(p, v)) return fail("ownership mismatch");
       }
     }
     if (p < n_network_ports_) {
       for (int v = 0; v < cfg_.vcs; ++v) {
-        if (out_[p][v].credits < 0 || out_[p][v].credits > cfg_.buffer_depth) {
+        const OutputVc& ov = out_[static_cast<std::size_t>(flat(p, v))];
+        if (ov.credits < 0 || ov.credits > cfg_.buffer_depth) {
           return fail("credit out of range");
         }
       }

@@ -9,16 +9,22 @@
 // with zero credits and has not yet sent any flit releases it and re-enters
 // VA, so a blocked packet can always reach the deadlock-free escape network
 // (Duato's protocol, conservative stay-on-escape variant).
+//
+// Hot-path layout: input and output VC state lives in flat [port*vcs + vc]
+// arrays (one contiguous block each, walked linearly every cycle), flit
+// buffers are fixed-capacity rings sized to buffer_depth, and the switch
+// allocator's matching scratch is preallocated — a steady-state step() does
+// no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "noc/channel.hpp"
 #include "noc/config.hpp"
 #include "noc/flit.hpp"
+#include "noc/ring_buffer.hpp"
 #include "noc/routing.hpp"
 #include "noc/rng.hpp"
 
@@ -28,7 +34,8 @@ namespace hm::noc {
 /// graph.neighbors(id)), ports deg..deg+E-1 connect to the local endpoints.
 class Router {
  public:
-  /// `tables` must outlive the router.
+  /// `tables` must outlive the router (it lives in the shared
+  /// TopologyContext that the owning Network keeps alive).
   Router(std::uint32_t id, const SimConfig& cfg, const RoutingTables* tables);
 
   /// Wires output port `port`: flits sent there arrive after `latency`.
@@ -65,7 +72,7 @@ class Router {
   enum class VcState : std::uint8_t { kIdle, kNeedsVc, kActive };
 
   struct InputVc {
-    std::deque<Flit> buf;
+    RingQueue<Flit> buf;
     VcState state = VcState::kIdle;
     int out_port = -1;
     int out_vc = -1;
@@ -84,14 +91,22 @@ class Router {
   [[nodiscard]] int flat(std::size_t port, int vc) const {
     return static_cast<int>(port) * cfg_.vcs + vc;
   }
-  [[nodiscard]] InputVc& in_vc(int flat_idx) {
-    return in_[static_cast<std::size_t>(flat_idx) /
-               static_cast<std::size_t>(cfg_.vcs)]
-              [static_cast<std::size_t>(flat_idx) %
-               static_cast<std::size_t>(cfg_.vcs)];
+
+  /// Marks flat input VC `iv_flat` as requesting output port `out_p` (set
+  /// exactly while the VC is kActive), so the switch allocator can walk
+  /// requesters with countr_zero instead of scanning every input VC.
+  void mark_request(std::size_t out_p, int iv_flat) {
+    sa_request_mask_[out_p * mask_words_ +
+                     (static_cast<std::size_t>(iv_flat) >> 6)] |=
+        1ULL << (iv_flat & 63);
+  }
+  void clear_request(std::size_t out_p, int iv_flat) {
+    sa_request_mask_[out_p * mask_words_ +
+                     (static_cast<std::size_t>(iv_flat) >> 6)] &=
+        ~(1ULL << (iv_flat & 63));
   }
 
-  void route_compute(InputVc& iv);
+  void route_compute(InputVc& iv, int iv_flat);
   bool try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng);
   void switch_allocate(Cycle now);
   void revoke_blocked_heads();
@@ -102,8 +117,8 @@ class Router {
   std::size_t n_network_ports_;
   std::size_t n_ports_;
 
-  std::vector<std::vector<InputVc>> in_;    ///< [port][vc]
-  std::vector<std::vector<OutputVc>> out_;  ///< [port][vc]
+  std::vector<InputVc> in_;   ///< flat [port*vcs + vc]
+  std::vector<OutputVc> out_; ///< flat [port*vcs + vc]
   std::vector<FlitChannel*> out_channel_;
   std::vector<int> out_latency_;
   std::vector<CreditChannel*> credit_channel_;
@@ -113,6 +128,20 @@ class Router {
   int va_rr_ = 0;
   int sa_out_rr_ = 0;
   std::vector<int> sa_in_rr_;  ///< per output port, over flat input-VC ids
+
+  // Preallocated switch-allocation scratch (per-cycle matching state).
+  std::vector<char> sa_in_port_used_;
+  std::vector<char> sa_out_port_used_;
+
+  // Requester bitmasks: [out_port * mask_words_ + word] over flat input-VC
+  // ids; bit set iff that input VC is kActive toward that output port.
+  std::size_t mask_words_ = 1;
+  std::vector<std::uint64_t> sa_request_mask_;
+
+  /// Per output port: free adaptive output VCs (owner < 0 among VCs
+  /// 1..vcs-1). Lets a blocked header skip a fully-owned port with one load
+  /// instead of vcs-1 owner probes every VA cycle.
+  std::vector<int> free_adaptive_;
 
   Cycle now_ = 0;  ///< updated by step(); used for SA readiness checks
 };

@@ -13,6 +13,8 @@ namespace {
 
 constexpr int kInf = std::numeric_limits<int>::max() / 4;
 
+std::atomic<std::uint64_t> g_lifetime_builds{0};
+
 /// Key used to orient edges for up*/down*: ascending (depth, id); an edge
 /// goes "up" toward the endpoint with the smaller key.
 struct UdKey {
@@ -25,6 +27,10 @@ struct UdKey {
 
 }  // namespace
 
+std::uint64_t RoutingTables::lifetime_builds() noexcept {
+  return g_lifetime_builds.load(std::memory_order_relaxed);
+}
+
 RoutingTables::RoutingTables(const graph::Graph& g) {
   const std::size_t n = g.node_count();
   if (n == 0) {
@@ -36,24 +42,35 @@ RoutingTables::RoutingTables(const graph::Graph& g) {
   if (g.max_degree() > 255) {
     throw std::invalid_argument("RoutingTables: degree must be <= 255");
   }
+  g_lifetime_builds.fetch_add(1, std::memory_order_relaxed);
+  n_ = n;
 
   degree_.resize(n);
   for (graph::NodeId v = 0; v < n; ++v) degree_[v] = g.degree(v);
 
-  // --- All-pairs distances and minimal next-hop ports ----------------------
-  dist_ = graph::all_pairs_distances(g);
-  min_ports_.assign(n, {});
+  // --- All-pairs distances (flat row-major) --------------------------------
+  dist_.resize(n * n);
+  for (graph::NodeId src = 0; src < n; ++src) {
+    const auto row = graph::bfs_distances(g, src);
+    std::copy(row.begin(), row.end(), dist_.begin() + flat(src, 0));
+  }
+
+  // --- Minimal next-hop port sets (CSR: offsets into one byte array) -------
+  min_port_offset_.resize(n * n + 1, 0);
+  min_port_data_.reserve(n * n);  // lower bound; most pairs have >= 1 port
   for (graph::NodeId cur = 0; cur < n; ++cur) {
-    min_ports_[cur].assign(n, {});
     const auto nbrs = g.neighbors(cur);
     for (graph::NodeId dst = 0; dst < n; ++dst) {
-      if (dst == cur) continue;
-      auto& ports = min_ports_[cur][dst];
-      for (std::size_t p = 0; p < nbrs.size(); ++p) {
-        if (dist_[nbrs[p]][dst] == dist_[cur][dst] - 1) {
-          ports.push_back(static_cast<std::uint8_t>(p));
+      if (dst != cur) {
+        const int want = dist_[flat(cur, dst)] - 1;
+        for (std::size_t p = 0; p < nbrs.size(); ++p) {
+          if (dist_[flat(nbrs[p], dst)] == want) {
+            min_port_data_.push_back(static_cast<std::uint8_t>(p));
+          }
         }
       }
+      min_port_offset_[flat(cur, dst) + 1] =
+          static_cast<std::uint32_t>(min_port_data_.size());
     }
   }
 
@@ -61,7 +78,9 @@ RoutingTables::RoutingTables(const graph::Graph& g) {
   int best_ecc = kInf;
   for (graph::NodeId v = 0; v < n; ++v) {
     int ecc = 0;
-    for (graph::NodeId u = 0; u < n; ++u) ecc = std::max(ecc, dist_[v][u]);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      ecc = std::max(ecc, dist_[flat(v, u)]);
+    }
     if (ecc < best_ecc) {
       best_ecc = ecc;
       root_ = v;
@@ -69,7 +88,7 @@ RoutingTables::RoutingTables(const graph::Graph& g) {
   }
 
   std::vector<UdKey> key(n);
-  for (graph::NodeId v = 0; v < n; ++v) key[v] = {dist_[root_][v], v};
+  for (graph::NodeId v = 0; v < n; ++v) key[v] = {dist_[flat(root_, v)], v};
 
   // up(u, p): does the edge from u through port p go "up"?
   auto goes_up = [&](graph::NodeId u, graph::NodeId w) {
@@ -81,7 +100,7 @@ RoutingTables::RoutingTables(const graph::Graph& g) {
   // For each destination, run a backward BFS from {(dst,0), (dst,1)} over
   // reversed transitions and record the forward next hop per state.
   for (int phase = 0; phase < 2; ++phase) {
-    escape_[phase].assign(n, std::vector<EscapeHop>(n));
+    escape_[phase].assign(n * n, EscapeHop{});
   }
   std::vector<int> sdist(2 * n);
   auto sidx = [n](graph::NodeId v, int phase) {
@@ -152,7 +171,7 @@ RoutingTables::RoutingTables(const graph::Graph& g) {
           throw std::logic_error(
               "RoutingTables: inconsistent up*/down* state graph");
         }
-        escape_[phase][u][dst] = hop;
+        escape_[phase][flat(u, dst)] = hop;
       }
     }
   }

@@ -10,9 +10,19 @@
 //    destination) over the 2N-state phase graph, which makes the escape
 //    network provably deadlock-free (acyclic channel ordering) while still
 //    using the shortest legal path.
+//
+// Storage is flat and offset-indexed: the distance matrix and escape tables
+// are dense row-major N*N arrays, and the variable-length minimal-port sets
+// live concatenated in one byte array addressed through an offset table
+// (CSR-style). A lookup is one index computation plus contiguous loads —
+// no nested-vector pointer chasing on the router's per-cycle path — and a
+// built table is trivially immutable, which is what lets a single
+// TopologyContext share it read-only across concurrent simulators.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -35,14 +45,16 @@ class RoutingTables {
 
   /// Hop distance between routers.
   [[nodiscard]] int distance(graph::NodeId u, graph::NodeId v) const {
-    return dist_[u][v];
+    return dist_[flat(u, v)];
   }
 
   /// Output ports (indices into neighbors(cur)) on shortest paths cur->dst.
   /// Empty iff cur == dst.
-  [[nodiscard]] const std::vector<std::uint8_t>& minimal_ports(
+  [[nodiscard]] std::span<const std::uint8_t> minimal_ports(
       graph::NodeId cur, graph::NodeId dst) const {
-    return min_ports_[cur][dst];
+    const std::size_t i = flat(cur, dst);
+    return {min_port_data_.data() + min_port_offset_[i],
+            min_port_data_.data() + min_port_offset_[i + 1]};
   }
 
   /// Escape next hop from `cur` toward `dst` given the packet's current
@@ -50,7 +62,7 @@ class RoutingTables {
   /// (guaranteed when phases are only advanced through this table).
   [[nodiscard]] EscapeHop escape_hop(graph::NodeId cur, graph::NodeId dst,
                                      std::uint8_t phase) const {
-    return escape_[phase][cur][dst];
+    return escape_[phase][flat(cur, dst)];
   }
 
   /// Root of the up*/down* tree (a graph center).
@@ -61,13 +73,27 @@ class RoutingTables {
     return degree_[v];
   }
 
+  /// Number of routers the tables were built for.
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  /// Process-lifetime count of table constructions. The topology-sharing
+  /// contract — "one table build per evaluate / find_saturation / sweep-job
+  /// chain" — is asserted by tests through deltas of this counter.
+  [[nodiscard]] static std::uint64_t lifetime_builds() noexcept;
+
  private:
+  [[nodiscard]] std::size_t flat(graph::NodeId u, graph::NodeId v) const {
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+
+  std::size_t n_ = 0;
   graph::NodeId root_ = 0;
   std::vector<std::size_t> degree_;
-  std::vector<std::vector<int>> dist_;
-  std::vector<std::vector<std::vector<std::uint8_t>>> min_ports_;
-  /// escape_[phase][cur][dst]
-  std::vector<std::vector<EscapeHop>> escape_[2];
+  std::vector<int> dist_;                       ///< flat [u*n + v]
+  std::vector<std::uint32_t> min_port_offset_;  ///< n*n + 1 entries
+  std::vector<std::uint8_t> min_port_data_;     ///< concatenated port sets
+  /// escape_[phase][cur*n + dst]
+  std::vector<EscapeHop> escape_[2];
 };
 
 }  // namespace hm::noc

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <bit>
-#include <map>
+#include <unordered_map>
+#include <utility>
 
 namespace hm::noc {
 
 Simulator::Simulator(const graph::Graph& g, const SimConfig& cfg)
-    : cfg_(cfg), net_(g, cfg), rng_(cfg.seed) {}
+    : Simulator(TopologyContext::acquire(g), cfg) {}
+
+Simulator::Simulator(std::shared_ptr<const TopologyContext> topo,
+                     const SimConfig& cfg)
+    : cfg_(cfg), net_(std::move(topo), cfg), rng_(cfg.seed) {}
 
 void Simulator::set_traffic(const TrafficSpec& spec) {
   spec.validate(net_.num_endpoints());
@@ -130,7 +135,20 @@ SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
                                  const SaturationSearchOptions& opts,
                                  const TrafficSpec& traffic,
                                  ProbeExecutor* executor) {
-  traffic.validate(g.node_count() *
+  // One topology build (or cache hit) for the whole probe sequence.
+  return find_saturation(TopologyContext::acquire(g), cfg, opts, traffic,
+                         executor);
+}
+
+SaturationResult find_saturation(std::shared_ptr<const TopologyContext> topo,
+                                 const SimConfig& cfg,
+                                 const SaturationSearchOptions& opts,
+                                 const TrafficSpec& traffic,
+                                 ProbeExecutor* executor) {
+  if (topo == nullptr) {
+    throw std::invalid_argument("find_saturation: null topology context");
+  }
+  traffic.validate(topo->node_count() *
                    static_cast<std::size_t>(cfg.endpoints_per_chiplet));
   SaturationResult result;
 
@@ -143,17 +161,24 @@ SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
     if (opts.per_probe_seeds) {
       probe_cfg.seed = derive_seed(cfg.seed, std::bit_cast<std::uint64_t>(rate));
     }
-    Simulator sim(g, probe_cfg);  // fresh network per probe
+    Simulator sim(topo, probe_cfg);  // fresh network on the shared topology
     sim.set_traffic(traffic);
     return sim.run_throughput(rate, opts.warmup, opts.measure);
   };
 
   // Memoized probes, batched through the executor when one is available.
-  std::map<double, ThroughputResult> memo;
+  // Keyed by the rate's bit pattern: probe rates repeat exactly (they are
+  // recomputed from the same midpoint arithmetic), so an O(1) bit-equality
+  // hash lookup replaces ordered exact-double operator< comparisons on the
+  // probe path.
+  std::unordered_map<std::uint64_t, ThroughputResult> memo;
+  const auto rate_key = [](double rate) {
+    return std::bit_cast<std::uint64_t>(rate);
+  };
   auto ensure = [&](std::initializer_list<double> rates) {
     std::vector<double> missing;
     for (double r : rates) {
-      if (!memo.contains(r) &&
+      if (!memo.contains(rate_key(r)) &&
           std::find(missing.begin(), missing.end(), r) == missing.end()) {
         missing.push_back(r);
       }
@@ -169,15 +194,15 @@ SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
       }
       executor->run_batch(jobs);
       for (std::size_t i = 0; i < missing.size(); ++i) {
-        memo.emplace(missing[i], out[i]);
+        memo.emplace(rate_key(missing[i]), out[i]);
       }
     } else {
-      for (double r : missing) memo.emplace(r, run_one(r));
+      for (double r : missing) memo.emplace(rate_key(r), run_one(r));
     }
   };
   auto probe = [&](double rate) -> const ThroughputResult& {
     ensure({rate});
-    return memo.at(rate);
+    return memo.at(rate_key(rate));
   };
 
   // Stable = the source queues never overflowed during the measurement
@@ -223,10 +248,10 @@ SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
       // Probe the midpoint and both possible next midpoints in one parallel
       // batch, then consume two levels of the search from the memo.
       ensure({mid, (lo + mid) / 2.0, (mid + hi) / 2.0});
-      step(memo.at(mid), mid);
+      step(memo.at(rate_key(mid)), mid);
       ++i;
       const double mid2 = (lo + hi) / 2.0;
-      step(memo.at(mid2), mid2);
+      step(memo.at(rate_key(mid2)), mid2);
     } else {
       step(probe(mid), mid);
     }

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "noc/config.hpp"
 #include "noc/network.hpp"
+#include "noc/topology.hpp"
 #include "noc/traffic.hpp"
 
 namespace hm::noc {
@@ -100,10 +102,25 @@ struct SaturationResult {
     const SaturationSearchOptions& opts = {},
     const TrafficSpec& traffic = {}, ProbeExecutor* executor = nullptr);
 
+/// find_saturation on a pre-built shared topology: every probe's fresh
+/// Simulator reuses `topo` read-only, so the O(N^2 * deg) routing tables
+/// are built zero times here no matter how many probes the search runs.
+/// The graph overload above acquires the shared context once and delegates.
+[[nodiscard]] SaturationResult find_saturation(
+    std::shared_ptr<const TopologyContext> topo, const SimConfig& cfg,
+    const SaturationSearchOptions& opts = {},
+    const TrafficSpec& traffic = {}, ProbeExecutor* executor = nullptr);
+
 /// Owns a Network plus RNG/traffic state and runs measurement phases.
 class Simulator {
  public:
+  /// Acquires the shared TopologyContext for `g` (table build only when no
+  /// live context for an equal graph exists), then runs on it.
   Simulator(const graph::Graph& g, const SimConfig& cfg);
+
+  /// Runs on a pre-built shared topology (no table build at all). Any
+  /// number of concurrent Simulators may share one context.
+  Simulator(std::shared_ptr<const TopologyContext> topo, const SimConfig& cfg);
 
   /// Selects the traffic pattern for subsequent runs (default: uniform
   /// random, the paper's setup). Throws std::invalid_argument right here —

@@ -1,0 +1,49 @@
+// Stable 64-bit content hashing (FNV-1a over explicitly serialized fields).
+//
+// "Stable" means the digest depends only on the logical content serialized
+// field by field in a fixed order — never on pointers, container capacity or
+// platform. Hoisted out of explore/ so lower layers (noc/topology's context
+// cache) can key on the same digests the exploration result cache uses;
+// explore/hash.hpp re-exports these names for its existing callers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hm::util {
+
+/// FNV-1a (64-bit) accumulator over explicitly serialized fields.
+class StableHash {
+ public:
+  StableHash& mix(std::uint64_t v) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      h_ ^= (v >> (8 * byte)) & 0xffULL;
+      h_ *= kFnvPrime;
+    }
+    return *this;
+  }
+  StableHash& mix_i(std::int64_t v) noexcept {
+    return mix(static_cast<std::uint64_t>(v));
+  }
+  /// Bit pattern of a double (-0.0 != +0.0).
+  StableHash& mix_f(double v) noexcept {
+    return mix(std::bit_cast<std::uint64_t>(v));
+  }
+  StableHash& mix_b(bool v) noexcept { return mix(v ? 1 : 0); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  static constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// Order-independent-of-nothing combiner: mixes `b` into `a` (asymmetric).
+[[nodiscard]] inline std::uint64_t hash_combine(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  StableHash h;
+  h.mix(a).mix(b);
+  return h.value();
+}
+
+}  // namespace hm::util

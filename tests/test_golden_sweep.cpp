@@ -1,0 +1,87 @@
+// Golden-output regression for the topology-sharing refactor: the sweep
+// engine's CSV and JSON exports must stay byte-identical to the captures
+// taken from the pre-refactor engine (tests/golden/, generated at 1 thread
+// from the seed revision) at every thread count. This pins three contracts
+// at once: the refactored hot path (flat tables, ring buffers, shared
+// contexts) reproduces the original simulation bit for bit, thread count
+// never changes results, and the export formatting stays stable.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "explore/export.hpp"
+#include "explore/sweep.hpp"
+
+namespace {
+
+#ifndef HM_GOLDEN_DIR
+#define HM_GOLDEN_DIR "tests/golden"
+#endif
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing golden file: " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Exactly the spec the goldens were generated from (build/gen_golden at
+/// the pre-refactor revision): 3 arrangement families x {4, 9} chiplets x
+/// {uniform, hotspot} traffic, short windows, default base seed.
+hm::explore::SweepSpec golden_spec() {
+  hm::core::EvaluationParams params;
+  params.latency_warmup = 300;
+  params.latency_measure = 600;
+  params.latency_drain_limit = 60000;
+  params.throughput_warmup = 400;
+  params.throughput_measure = 400;
+
+  hm::noc::TrafficSpec hotspot;
+  hotspot.pattern = hm::noc::TrafficPattern::kHotspot;
+  hotspot.hotspot_fraction = 0.3;
+  hotspot.hotspots = {0, 3};
+
+  hm::explore::SweepSpec spec;
+  spec.types = {hm::core::ArrangementType::kGrid,
+                hm::core::ArrangementType::kBrickwall,
+                hm::core::ArrangementType::kHexaMesh};
+  spec.chiplet_counts = {4, 9};
+  spec.param_grid = {params};
+  spec.traffic_grid = {hm::noc::TrafficSpec{}, hotspot};
+  return spec;
+}
+
+class GoldenSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GoldenSweep, CsvAndJsonMatchPreRefactorCapture) {
+  const std::string golden_csv =
+      read_file(std::string(HM_GOLDEN_DIR) + "/sweep_small.csv");
+  const std::string golden_json =
+      read_file(std::string(HM_GOLDEN_DIR) + "/sweep_small.json");
+  ASSERT_FALSE(golden_csv.empty());
+  ASSERT_FALSE(golden_json.empty());
+
+  hm::explore::SweepEngine::Options opt;
+  opt.threads = GetParam();
+  hm::explore::SweepEngine engine(opt);
+  const auto records = engine.run(golden_spec());
+
+  EXPECT_EQ(hm::explore::to_csv(records), golden_csv)
+      << "CSV diverged from the pre-refactor golden at " << GetParam()
+      << " threads";
+  EXPECT_EQ(hm::explore::to_json(records), golden_json)
+      << "JSON diverged from the pre-refactor golden at " << GetParam()
+      << " threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, GoldenSweep,
+                         ::testing::Values(1u, 4u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+}  // namespace
