@@ -142,10 +142,10 @@ TEST(TopologyContext, EvaluateSimulationRejectsForeignContext) {
   hm::core::EvaluationParams params;
   const auto analytic = hm::core::evaluate_analytic(arr, params);
   const auto wrong = TopologyContext::acquire(ring_graph(17));
-  EXPECT_THROW(hm::core::evaluate_simulation(arr, params, analytic, {},
+  EXPECT_THROW((void)hm::core::evaluate_simulation(arr, params, analytic, {},
                                              nullptr, wrong),
                std::invalid_argument);
-  EXPECT_THROW(hm::core::evaluate_simulation(arr, params, analytic, {},
+  EXPECT_THROW((void)hm::core::evaluate_simulation(arr, params, analytic, {},
                                              nullptr, nullptr),
                std::invalid_argument);
 }
