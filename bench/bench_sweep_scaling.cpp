@@ -52,6 +52,10 @@ int main() {
 
   std::map<std::string, double> metrics;
   metrics["sweep21.points"] = static_cast<double>(points);
+  // Recorded so the CI perf gate can tell real scaling regressions from
+  // runs on hosts with too few cores to scale at all.
+  metrics["host.hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
   double base_seconds = 0.0;
   bool all_identical = true;
   std::string base_csv;

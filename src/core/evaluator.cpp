@@ -123,10 +123,10 @@ EvaluationResult evaluate_simulation(
         "evaluate: topology context built for a different graph");
   }
 
-  // Zero-load latency (Fig. 7a): low injection rate, fresh simulator on the
-  // shared topology.
+  // Zero-load latency (Fig. 7a): low injection rate, simulator on the
+  // shared topology with its network recycled from the worker's arena.
   auto latency_run = [&] {
-    noc::Simulator sim(topology, params.sim);
+    noc::Simulator sim(noc::SimulationArena::local(), topology, params.sim);
     sim.set_traffic(traffic);
     const auto lat = sim.run_latency(
         params.zero_load_injection_rate, params.latency_warmup,

@@ -6,9 +6,10 @@ namespace hm::explore {
 
 std::optional<core::EvaluationResult> ResultCache::lookup(
     std::uint64_t key) const {
-  const std::shared_lock<std::shared_mutex> lock(mu_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
+  const Shard& shard = shard_for(key);
+  const std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -18,31 +19,25 @@ std::optional<core::EvaluationResult> ResultCache::lookup(
 
 void ResultCache::insert(std::uint64_t key,
                          const core::EvaluationResult& result) {
-  const std::unique_lock<std::shared_mutex> lock(mu_);
-  map_.insert_or_assign(key, result);
-}
-
-core::EvaluationResult ResultCache::get_or_compute(
-    std::uint64_t key,
-    const std::function<core::EvaluationResult()>& compute, bool* was_hit) {
-  if (auto cached = lookup(key)) {
-    if (was_hit != nullptr) *was_hit = true;
-    return *cached;
-  }
-  if (was_hit != nullptr) *was_hit = false;
-  core::EvaluationResult result = compute();
-  insert(key, result);
-  return result;
+  Shard& shard = shard_for(key);
+  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.map.insert_or_assign(key, result);
 }
 
 std::size_t ResultCache::size() const {
-  const std::shared_lock<std::shared_mutex> lock(mu_);
-  return map_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 void ResultCache::clear() {
-  const std::unique_lock<std::shared_mutex> lock(mu_);
-  map_.clear();
+  for (Shard& shard : shards_) {
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.map.clear();
+  }
 }
 
 }  // namespace hm::explore

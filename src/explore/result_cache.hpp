@@ -8,14 +8,22 @@
 // noc::TopologyContext intern cache (keyed by the same util::StableHash
 // digests) shares the routing tables underneath points that differ only in
 // seeds, simulator knobs or traffic.
+//
+// Contention design: the map is split into 16 shards, each behind its own
+// shared_mutex, so sweep workers hitting the cache concurrently only
+// serialize when their keys land in the same shard (keys are well-mixed
+// 64-bit content hashes, so shard selection is uniform). get_or_compute is
+// a template over the compute callable — no std::function allocation on
+// the per-job path.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "core/evaluator.hpp"
 
@@ -36,11 +44,21 @@ class ResultCache {
   /// compute — harmless for deterministic evaluations and cheaper than
   /// serializing every simulation behind a mutex. `was_hit`, when given,
   /// reports whether the value came from the cache.
-  core::EvaluationResult get_or_compute(
-      std::uint64_t key,
-      const std::function<core::EvaluationResult()>& compute,
-      bool* was_hit = nullptr);
+  template <typename Compute>
+  core::EvaluationResult get_or_compute(std::uint64_t key, Compute&& compute,
+                                        bool* was_hit = nullptr) {
+    if (auto cached = lookup(key)) {
+      if (was_hit != nullptr) *was_hit = true;
+      return *cached;
+    }
+    if (was_hit != nullptr) *was_hit = false;
+    core::EvaluationResult result = std::forward<Compute>(compute)();
+    insert(key, result);
+    return result;
+  }
 
+  /// Total entries across all shards (each shard locked in turn, so the
+  /// result is approximate under concurrent insertion).
   [[nodiscard]] std::size_t size() const;
   void clear();
 
@@ -49,8 +67,20 @@ class ResultCache {
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::uint64_t, core::EvaluationResult> map_;
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, core::EvaluationResult> map;
+  };
+
+  /// Keys are stable content hashes (already well mixed), so the low bits
+  /// select a shard uniformly.
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) const {
+    return shards_[key & (kShards - 1)];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -65,8 +65,12 @@ SweepRecord SweepEngine::evaluate_point(const SweepPoint& point) {
   try {
     const core::Arrangement arr =
         core::make_arrangement(point.type, point.chiplet_count);
+    // Intra-design probes go through a per-job bounded adapter so one job
+    // cannot flood the shared pool with speculative probes (policy in
+    // Options::intra_design_parallelism / max_intra_probes).
+    BoundedProbeExecutor bounded(&pool_, options_.max_intra_probes);
     noc::ProbeExecutor* executor =
-        options_.intra_design_parallelism ? &pool_ : nullptr;
+        options_.intra_design_parallelism ? &bounded : nullptr;
 
     const auto cached_eval = [&](std::uint64_t key, auto compute) {
       if (!options_.use_cache) {

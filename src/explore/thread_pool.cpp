@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "noc/arena.hpp"
+
 namespace hm::explore {
 
 /// One batch of jobs. Threads claim jobs by atomically bumping `next`; the
@@ -73,7 +75,13 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !open_batches_.empty(); });
-      if (stop_) return;
+      if (stop_) {
+        // Release this worker's cached simulation networks: after the pool
+        // dies nothing can reuse them, and dropping the leases also lets
+        // the weak-ptr TopologyContext intern cache free shared tables.
+        noc::SimulationArena::local().clear();
+        return;
+      }
       batch = open_batches_.front();
       if (batch->next.load(std::memory_order_relaxed) >= batch->size) {
         // Exhausted batch still waiting for in-flight jobs; retire it from
@@ -113,6 +121,29 @@ void ThreadPool::run_batch(std::vector<std::function<void()>>& jobs) {
     std::erase(open_batches_, batch);
   }
   if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void BoundedProbeExecutor::run_batch(std::vector<std::function<void()>>& jobs) {
+  if (inner_ == nullptr || max_in_flight_ <= 1) {
+    for (auto& job : jobs) job();
+    return;
+  }
+  for (std::size_t begin = 0; begin < jobs.size(); begin += max_in_flight_) {
+    const std::size_t end = std::min(jobs.size(), begin + max_in_flight_);
+    if (end - begin == 1) {
+      jobs[begin]();
+      continue;
+    }
+    // Forwarding wrappers: the chunk borrows the caller's callables in
+    // place, so nothing is moved out of `jobs` (the batch contract says
+    // every job runs exactly once, not that the vector is consumed).
+    std::vector<std::function<void()>> chunk;
+    chunk.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      chunk.emplace_back([&job = jobs[i]] { job(); });
+    }
+    inner_->run_batch(chunk);
+  }
 }
 
 }  // namespace hm::explore

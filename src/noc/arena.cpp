@@ -1,0 +1,88 @@
+#include "noc/arena.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hm::noc {
+
+/// One cached network slot. Entries are heap-allocated so leases can hold a
+/// stable pointer across cache growth and (idle-only) eviction.
+struct SimulationArena::Lease::Entry {
+  std::shared_ptr<const TopologyContext> topo;
+  SimConfig cfg;
+  std::unique_ptr<Network> net;
+  bool in_use = false;
+  std::uint64_t last_used = 0;
+};
+
+SimulationArena::Lease::Lease(Entry* entry)
+    : entry_(entry), net_(entry->net.get()) {}
+
+void SimulationArena::Lease::release() noexcept {
+  if (entry_ != nullptr) entry_->in_use = false;
+  entry_ = nullptr;
+  net_ = nullptr;
+  owned_.reset();
+}
+
+SimulationArena::SimulationArena(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+SimulationArena::~SimulationArena() = default;
+
+SimulationArena::Lease SimulationArena::lease(
+    std::shared_ptr<const TopologyContext> topo, const SimConfig& cfg) {
+  // Hit: same shared context instance (acquire() interns per graph, so
+  // pointer identity is graph identity) and the same network structure.
+  for (auto& e : entries_) {
+    if (!e->in_use && e->topo.get() == topo.get() &&
+        e->cfg.same_structure(cfg)) {
+      e->in_use = true;
+      e->last_used = ++tick_;
+      e->net->reset();
+      ++stats_.networks_reused;
+      return Lease(e.get());
+    }
+  }
+
+  // Miss: pick a slot — a fresh one while below capacity, else the least-
+  // recently-used idle one — and build the network into it.
+  Entry* slot = nullptr;
+  if (entries_.size() < capacity_) {
+    slot = entries_.emplace_back(std::make_unique<Entry>()).get();
+  } else {
+    for (auto& e : entries_) {
+      if (e->in_use) continue;
+      if (slot == nullptr || e->last_used < slot->last_used) slot = e.get();
+    }
+  }
+  if (slot == nullptr) {
+    // Every slot is checked out (nested probes on this thread): serve a
+    // one-off network the lease owns outright.
+    ++stats_.oneoff_networks;
+    return Lease(std::make_unique<Network>(std::move(topo), cfg));
+  }
+  ++stats_.networks_built;
+  slot->net = std::make_unique<Network>(topo, cfg);
+  slot->topo = std::move(topo);
+  slot->cfg = cfg;
+  slot->in_use = true;
+  slot->last_used = ++tick_;
+  return Lease(slot);
+}
+
+SimulationArena::Lease SimulationArena::owned(
+    std::shared_ptr<const TopologyContext> topo, const SimConfig& cfg) {
+  return Lease(std::make_unique<Network>(std::move(topo), cfg));
+}
+
+SimulationArena& SimulationArena::local() {
+  static thread_local SimulationArena arena;
+  return arena;
+}
+
+void SimulationArena::clear() {
+  std::erase_if(entries_, [](const auto& e) { return !e->in_use; });
+}
+
+}  // namespace hm::noc

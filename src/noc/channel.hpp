@@ -35,6 +35,9 @@ class TimedRing {
   }
   [[nodiscard]] std::size_t in_flight() const { return q_.size(); }
 
+  /// Drops everything in flight, keeping the allocation (arena reset).
+  void clear() noexcept { q_.clear(); }
+
  private:
   struct Slot {
     Cycle at = 0;

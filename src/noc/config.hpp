@@ -51,6 +51,21 @@ struct SimConfig {
   RoutingMode routing = RoutingMode::kMinimalAdaptive;
   unsigned long long seed = 42;     ///< RNG seed (fully deterministic runs)
 
+  /// Memberwise equality (keeps the arena key honest when fields are added:
+  /// a new knob is automatically part of the comparison).
+  [[nodiscard]] friend bool operator==(const SimConfig&,
+                                       const SimConfig&) = default;
+
+  /// True when `other` builds a bit-identical Network structure: everything
+  /// but the RNG seed matches (the seed drives traffic and arbitration
+  /// draws, which live in the Simulator's Rng, not in the Network). This is
+  /// the SimulationArena reuse key.
+  [[nodiscard]] bool same_structure(const SimConfig& other) const {
+    SimConfig a = *this;
+    a.seed = other.seed;
+    return a == other;
+  }
+
   /// Throws std::invalid_argument when a parameter is out of range.
   void validate() const {
     if (vcs < 1 || vcs > 255) {

@@ -5,8 +5,12 @@
 
 namespace hm::noc {
 
-Endpoint::Endpoint(std::uint16_t id, const SimConfig& cfg)
-    : id_(id), cfg_(cfg) {
+Endpoint::Endpoint(std::uint16_t id, const SimConfig& cfg,
+                   PacketTable* packets)
+    : id_(id), cfg_(cfg), packets_(packets) {
+  if (packets_ == nullptr) {
+    throw std::invalid_argument("Endpoint: null packet table");
+  }
   credits_.assign(cfg_.vcs, cfg_.buffer_depth);
   queue_.reserve(static_cast<std::size_t>(cfg_.source_queue_capacity));
 }
@@ -24,7 +28,9 @@ bool Endpoint::try_enqueue(const Packet& p) {
     return false;
   }
   assert(p.src_endpoint == id_);
-  queue_.push_back(p);
+  Packet admitted = p;
+  admitted.id = packets_->add(p);  // cold record written exactly once
+  queue_.push_back(admitted);
   ++packets_enqueued_;
   return true;
 }
@@ -56,15 +62,11 @@ void Endpoint::inject(Cycle now) {
   const Packet& p = queue_.front();
   Flit f;
   f.packet_id = p.id;
-  f.src_endpoint = p.src_endpoint;
-  f.dst_endpoint = p.dst_endpoint;
   f.dst_router = static_cast<std::uint16_t>(
       p.dst_endpoint / cfg_.endpoints_per_chiplet);
-  f.flit_index = static_cast<std::uint16_t>(next_flit_);
+  f.vc = static_cast<std::uint8_t>(active_vc_);
   f.head = next_flit_ == 0;
   f.tail = next_flit_ == p.length - 1;
-  f.vc = static_cast<std::uint8_t>(active_vc_);
-  f.gen_time = p.gen_time;
 
   inj_channel_->push(f, now + inj_latency_);
   --credits_[active_vc_];
@@ -78,13 +80,15 @@ void Endpoint::inject(Cycle now) {
 }
 
 void Endpoint::receive_flit(const Flit& f, Cycle now) {
-  assert(f.dst_endpoint == id_);
   ++sink_.flits_ejected;
   if (f.tail) {
+    const PacketRecord& rec = (*packets_)[f.packet_id];
+    assert(rec.dst_endpoint == id_);
     ++sink_.packets_ejected;
-    if (f.gen_time >= window_begin_ && f.gen_time < window_end_) {
+    if (rec.gen_time >= window_begin_ && rec.gen_time < window_end_) {
       ++sink_.tagged_packets;
-      sink_.tagged_latency_sum += static_cast<std::uint64_t>(now - f.gen_time);
+      sink_.tagged_latency_sum +=
+          static_cast<std::uint64_t>(now - rec.gen_time);
     }
   }
 }
@@ -92,6 +96,19 @@ void Endpoint::receive_flit(const Flit& f, Cycle now) {
 void Endpoint::set_measurement_window(Cycle begin, Cycle end) {
   window_begin_ = begin;
   window_end_ = end;
+}
+
+void Endpoint::reset() {
+  queue_.clear();
+  credits_.assign(cfg_.vcs, cfg_.buffer_depth);
+  active_vc_ = -1;
+  next_flit_ = 0;
+  rr_vc_ = 0;
+  flits_injected_ = 0;
+  packets_enqueued_ = 0;
+  sink_ = SinkStats{};
+  window_begin_ = 0;
+  window_end_ = std::numeric_limits<Cycle>::min();
 }
 
 std::size_t Endpoint::pending_flits() const noexcept {

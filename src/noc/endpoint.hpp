@@ -2,6 +2,11 @@
 // injection onto its router port) and packet sink (latency accounting over a
 // measurement window). Each chiplet hosts `endpoints_per_chiplet` endpoints
 // (paper Sec. VI-A uses two).
+//
+// SoA split: the endpoint registers each admitted packet's cold record
+// (src/dst, gen_time, length) in the Network's PacketTable once and injects
+// 8-byte routing words; the sink looks the record back up by packet id for
+// the latency accounting.
 #pragma once
 
 #include <cstdint>
@@ -28,12 +33,16 @@ struct SinkStats {
 class Endpoint {
  public:
   /// `id` is the global endpoint id; its router is id / endpoints_per_chiplet.
-  Endpoint(std::uint16_t id, const SimConfig& cfg);
+  /// `packets` is the owning Network's packet table (must outlive the
+  /// endpoint); source and sink both use it.
+  Endpoint(std::uint16_t id, const SimConfig& cfg, PacketTable* packets);
 
   /// Wires the injection channel toward the local router.
   void wire_injection(FlitChannel* channel, int latency);
 
-  /// Tries to append a packet to the source queue; false when full.
+  /// Tries to append a packet to the source queue; false when full. On
+  /// success the packet's cold record is registered in the packet table and
+  /// the queued copy carries the table id.
   bool try_enqueue(const Packet& p);
 
   /// Delivers an injection credit for router-input VC `vc`.
@@ -48,6 +57,11 @@ class Endpoint {
   /// Sets the measurement window [begin, end): packets with gen_time inside
   /// it contribute to tagged latency stats on delivery.
   void set_measurement_window(Cycle begin, Cycle end);
+
+  /// Rewinds every mutable field to the freshly-constructed state (arena
+  /// reuse). Must stay exhaustive: a reset endpoint has to be bit-identical
+  /// to a new one (test_arena pins this).
+  void reset();
 
   [[nodiscard]] const SinkStats& sink() const noexcept { return sink_; }
   [[nodiscard]] std::uint64_t flits_injected() const noexcept {
@@ -65,6 +79,7 @@ class Endpoint {
  private:
   std::uint16_t id_;
   SimConfig cfg_;
+  PacketTable* packets_;
   FlitChannel* inj_channel_ = nullptr;
   int inj_latency_ = 1;
 
@@ -73,7 +88,6 @@ class Endpoint {
   int active_vc_ = -1;        ///< VC of the packet being serialized
   int next_flit_ = 0;         ///< next flit index of the active packet
   int rr_vc_ = 0;             ///< round-robin start for VC selection
-
   std::uint64_t flits_injected_ = 0;
   std::uint64_t packets_enqueued_ = 0;
   SinkStats sink_;

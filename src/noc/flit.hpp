@@ -1,43 +1,94 @@
-// Flow-control units (flits) and packets. A packet is serialized into
-// `packet_length` flits; the head flit carries the routing decision state
-// (escape flag and up*/down* phase), body/tail flits follow the head's path
-// through the virtual channels the head allocated (wormhole switching).
+// Flow-control units (flits) and packets, split hot/cold (SoA style).
+//
+// A packet is serialized into `packet_length` flits; the head flit carries
+// the routing decision state (escape flag and up*/down* phase), body/tail
+// flits follow the head's path through the virtual channels the head
+// allocated (wormhole switching).
+//
+// The per-flit data the routers actually route on is an 8-byte word (Flit):
+// packet id, destination router, VC and four flag bits. Everything a flit
+// used to drag through every ring buffer and channel but that is constant
+// per packet — source/destination endpoints, generation time, length — is
+// written exactly once into a PacketTable owned by the Network (and thus by
+// the simulation arena) and looked up by packet id at the two places that
+// need it: ejection-port routing at the destination router and latency
+// accounting at the sink. This cuts the bytes copied per switch grant ~3x
+// versus the old 32-byte all-in-one Flit.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <vector>
 
 namespace hm::noc {
 
 /// Simulation time in cycles.
 using Cycle = std::int64_t;
 
-/// One flow-control unit.
+/// One flow-control unit: the hot 8-byte routing word.
 struct Flit {
-  std::uint32_t packet_id = 0;
-  std::uint16_t src_endpoint = 0;
-  std::uint16_t dst_endpoint = 0;
+  std::uint32_t packet_id = 0;  ///< index into the Network's PacketTable
   std::uint16_t dst_router = 0;
-  std::uint16_t flit_index = 0;  ///< position within the packet
-  bool head = false;
-  bool tail = false;
-  /// Routed on the escape network (up*/down* on VC 0); once set it stays set
-  /// for the rest of the path (conservative Duato protocol).
-  bool escape = false;
-  /// up*/down* phase: 0 = may still ascend, 1 = descending only.
-  std::uint8_t ud_phase = 0;
   /// VC the flit travels on over the current channel.
   std::uint8_t vc = 0;
-  Cycle gen_time = 0;     ///< cycle the packet was created at the source
-  Cycle ready_time = 0;   ///< earliest cycle the flit may leave the router
+  std::uint8_t head : 1 = 0;
+  std::uint8_t tail : 1 = 0;
+  /// Routed on the escape network (up*/down* on VC 0); once set it stays set
+  /// for the rest of the path (conservative Duato protocol).
+  std::uint8_t escape : 1 = 0;
+  /// up*/down* phase: 0 = may still ascend, 1 = descending only.
+  std::uint8_t ud_phase : 1 = 0;
 };
+static_assert(sizeof(Flit) == 8, "Flit must stay an 8-byte routing word");
 
-/// A packet pending injection at an endpoint.
+/// A packet pending injection at an endpoint. `id` is assigned by the
+/// owning Network's PacketTable at source-queue admission (unique per
+/// network epoch, i.e. between arena resets), not by the traffic generator.
 struct Packet {
   std::uint32_t id = 0;
   std::uint16_t src_endpoint = 0;
   std::uint16_t dst_endpoint = 0;
   std::uint16_t length = 1;  ///< flits
   Cycle gen_time = 0;
+};
+
+/// Cold per-packet record: written once when the packet is admitted to a
+/// source queue, read at ejection routing and sink accounting.
+struct PacketRecord {
+  std::uint16_t src_endpoint = 0;
+  std::uint16_t dst_endpoint = 0;
+  std::uint16_t length = 1;
+  Cycle gen_time = 0;
+};
+
+/// Dense id -> PacketRecord store, one per Network. Admission order defines
+/// the ids, which is deterministic (endpoints are polled in index order each
+/// cycle), so parallel sweeps stay bit-identical to sequential ones.
+class PacketTable {
+ public:
+  /// Registers `p` and returns its id. The caller stores the id back into
+  /// the queued packet; every flit of the packet carries it.
+  std::uint32_t add(const Packet& p) {
+    records_.push_back(
+        PacketRecord{p.src_endpoint, p.dst_endpoint, p.length, p.gen_time});
+    return static_cast<std::uint32_t>(records_.size() - 1);
+  }
+
+  [[nodiscard]] const PacketRecord& operator[](std::uint32_t id) const {
+    assert(static_cast<std::size_t>(id) < records_.size());
+    return records_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Forgets all records but keeps the allocation (arena reuse: a reset
+  /// network starts a fresh id epoch without churning the heap).
+  void clear() noexcept { records_.clear(); }
+
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+ private:
+  std::vector<PacketRecord> records_;
 };
 
 }  // namespace hm::noc

@@ -25,7 +25,7 @@ Network::Network(std::shared_ptr<const TopologyContext> topo,
   // channel/router addresses taken during wiring stay valid.
   routers_.reserve(n);
   for (graph::NodeId r = 0; r < n; ++r) {
-    routers_.emplace_back(r, cfg_, &topo_->tables());
+    routers_.emplace_back(r, cfg_, &topo_->tables(), &packets_);
   }
 
   // Two directed channels per undirected edge, wired from the context's
@@ -63,8 +63,8 @@ Network::Network(std::shared_ptr<const TopologyContext> topo,
         static_cast<std::size_t>(cfg_.injection_link_latency) + 1);
     chans.ejection.reserve(
         static_cast<std::size_t>(cfg_.ejection_link_latency) + 1);
-    Endpoint& ep =
-        endpoints_.emplace_back(static_cast<std::uint16_t>(e), cfg_);
+    Endpoint& ep = endpoints_.emplace_back(static_cast<std::uint16_t>(e),
+                                           cfg_, &packets_);
     ep.wire_injection(&chans.injection, cfg_.injection_link_latency);
     routers_[router].wire_credit_return(port, &chans.inj_credits,
                                         cfg_.injection_link_latency);
@@ -106,6 +106,21 @@ void Network::step(Cycle now, Rng& rng) {
 
   // 3. Routers advance.
   for (auto& r : routers_) r.step(now, rng);
+}
+
+void Network::reset() {
+  for (auto& link : links_) {
+    link.flits.clear();
+    link.credits.clear();
+  }
+  for (auto& chans : ep_channels_) {
+    chans.injection.clear();
+    chans.inj_credits.clear();
+    chans.ejection.clear();
+  }
+  for (auto& r : routers_) r.reset();
+  for (auto& ep : endpoints_) ep.reset();
+  packets_.clear();
 }
 
 std::size_t Network::flits_in_network() const {

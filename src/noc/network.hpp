@@ -45,6 +45,13 @@ class Network {
   /// Executes one cycle: channel delivery, endpoint injection, router step.
   void step(Cycle now, Rng& rng);
 
+  /// Rewinds the network to its freshly-constructed state without touching
+  /// any allocation: rings are emptied in place, VC/credit state and every
+  /// statistic rewound, and the packet table cleared. A reset network is
+  /// bit-identical to a new Network(topo, cfg) (test_arena pins this);
+  /// SimulationArena uses it to recycle networks across probes.
+  void reset();
+
   [[nodiscard]] std::size_t num_routers() const noexcept {
     return routers_.size();
   }
@@ -67,6 +74,9 @@ class Network {
     return topo_;
   }
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const PacketTable& packets() const noexcept {
+    return packets_;
+  }
 
   /// Flits buffered in routers plus flits on channels (conservation checks).
   [[nodiscard]] std::size_t flits_in_network() const;
@@ -95,6 +105,10 @@ class Network {
 
   SimConfig cfg_;
   std::shared_ptr<const TopologyContext> topo_;
+  /// Cold per-packet records (SoA split); declared before routers/endpoints
+  /// so its address is valid while they are wired. Stable: Network is
+  /// neither copyable nor movable.
+  PacketTable packets_;
   std::vector<Router> routers_;
   std::vector<Endpoint> endpoints_;
   std::vector<RouterLink> links_;

@@ -8,10 +8,11 @@
 namespace hm::noc {
 
 Router::Router(std::uint32_t id, const SimConfig& cfg,
-               const RoutingTables* tables)
+               const RoutingTables* tables, const PacketTable* packets)
     : id_(id),
       cfg_(cfg),
       tables_(tables),
+      packets_(packets),
       n_network_ports_(tables->num_ports(id)),
       n_ports_(n_network_ports_ +
                static_cast<std::size_t>(cfg.endpoints_per_chiplet)) {
@@ -43,6 +44,35 @@ Router::Router(std::uint32_t id, const SimConfig& cfg,
   free_adaptive_.assign(n_ports_, cfg_.vcs - 1);
 }
 
+void Router::reset() {
+  for (auto& iv : in_) {
+    iv.buf.clear();
+    iv.state = VcState::kIdle;
+    iv.out_port = -1;
+    iv.out_vc = -1;
+    iv.out_is_ejection = false;
+    iv.escape = false;
+    iv.next_phase = 0;
+    iv.flits_sent = 0;
+    iv.blocked_cycles = 0;
+  }
+  for (std::size_t p = 0; p < n_ports_; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      OutputVc& ov = out_[static_cast<std::size_t>(flat(p, v))];
+      ov.credits = p < n_network_ports_ ? cfg_.buffer_depth : (1 << 30);
+      ov.owner = -1;
+    }
+  }
+  va_rr_ = 0;
+  sa_out_rr_ = 0;
+  std::fill(sa_in_rr_.begin(), sa_in_rr_.end(), 0);
+  std::fill(sa_in_port_used_.begin(), sa_in_port_used_.end(), 0);
+  std::fill(sa_out_port_used_.begin(), sa_out_port_used_.end(), 0);
+  std::fill(sa_request_mask_.begin(), sa_request_mask_.end(), 0);
+  std::fill(free_adaptive_.begin(), free_adaptive_.end(), cfg_.vcs - 1);
+  now_ = 0;
+}
+
 void Router::wire_output(std::size_t port, FlitChannel* channel, int latency) {
   if (port >= n_ports_ || channel == nullptr || latency < 1) {
     throw std::invalid_argument("Router::wire_output: bad wiring");
@@ -66,8 +96,7 @@ void Router::receive_flit(std::size_t port, Flit f, Cycle now) {
   InputVc& iv = in_[static_cast<std::size_t>(flat(port, f.vc))];
   assert(iv.buf.size() <
          static_cast<std::size_t>(cfg_.buffer_depth));  // credits guarantee
-  f.ready_time = now + cfg_.router_latency;
-  iv.buf.push_back(f);
+  iv.buf.push_back(BufFlit{f, now + cfg_.router_latency});
 }
 
 void Router::receive_credit(std::size_t port, int vc) {
@@ -78,12 +107,14 @@ void Router::receive_credit(std::size_t port, int vc) {
 }
 
 void Router::route_compute(InputVc& iv, int iv_flat) {
-  const Flit& head = iv.buf.front();
+  const Flit& head = iv.buf.front().flit;
   assert(head.head);
   if (head.dst_router == id_) {
-    // Deliver locally: ejection port of the destination endpoint.
+    // Deliver locally: ejection port of the destination endpoint. The
+    // destination endpoint is cold per-packet data, looked up once here.
+    assert(packets_ != nullptr);
     const int local_ep =
-        static_cast<int>(head.dst_endpoint) -
+        static_cast<int>((*packets_)[head.packet_id].dst_endpoint) -
         static_cast<int>(id_) * cfg_.endpoints_per_chiplet;
     assert(local_ep >= 0 && local_ep < cfg_.endpoints_per_chiplet);
     iv.out_port = static_cast<int>(n_network_ports_) + local_ep;
@@ -102,7 +133,7 @@ void Router::route_compute(InputVc& iv, int iv_flat) {
 }
 
 bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
-  const Flit& head = iv.buf.front();
+  const Flit& head = iv.buf.front().flit;
   const graph::NodeId dst = head.dst_router;
 
   const bool use_minimal = cfg_.routing != RoutingMode::kUpDownOnly &&
@@ -178,7 +209,7 @@ void Router::step(Cycle now, Rng& rng) {
   for (int idx = 0; idx < total_vcs; ++idx) {
     InputVc& iv = in_[static_cast<std::size_t>(idx)];
     if (iv.state == VcState::kIdle && !iv.buf.empty()) {
-      assert(iv.buf.front().head);
+      assert(iv.buf.front().flit.head);
       route_compute(iv, idx);
     }
   }
@@ -223,13 +254,13 @@ void Router::switch_allocate(Cycle now) {
       OutputVc& ov = out_[static_cast<std::size_t>(flat(out_p, iv.out_vc))];
       if (ov.credits <= 0) return false;
 
-      // Grant: traverse the switch and the output link.
-      Flit f = iv.buf.front();
+      // Grant: traverse the switch and the output link (an 8-byte copy).
+      Flit f = iv.buf.front().flit;
       iv.buf.pop_front();
       f.vc = static_cast<std::uint8_t>(iv.out_vc);
       if (iv.escape) {
-        f.escape = true;
-        f.ud_phase = iv.next_phase;
+        f.escape = 1;
+        f.ud_phase = iv.next_phase & 1;
       }
       out_channel_[out_p]->push(f, now + out_latency_[out_p]);
       --ov.credits;
@@ -343,7 +374,7 @@ bool Router::invariants_ok(std::string* why) const {
         return fail("input buffer overflow");
       }
       if (iv.state == VcState::kIdle && !iv.buf.empty() &&
-          !iv.buf.front().head) {
+          !iv.buf.front().flit.head) {
         return fail("idle VC with non-head front flit");
       }
       if (iv.state == VcState::kActive && !iv.out_is_ejection) {

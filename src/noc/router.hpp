@@ -14,7 +14,10 @@
 // arrays (one contiguous block each, walked linearly every cycle), flit
 // buffers are fixed-capacity rings sized to buffer_depth, and the switch
 // allocator's matching scratch is preallocated — a steady-state step() does
-// no heap allocation.
+// no heap allocation. Flits are 8-byte routing words (see flit.hpp); the
+// only cold data a router ever needs — the destination endpoint for
+// ejection-port routing — is looked up once per packet in the Network's
+// PacketTable when the head flit is route-computed.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +38,12 @@ namespace hm::noc {
 class Router {
  public:
   /// `tables` must outlive the router (it lives in the shared
-  /// TopologyContext that the owning Network keeps alive).
-  Router(std::uint32_t id, const SimConfig& cfg, const RoutingTables* tables);
+  /// TopologyContext that the owning Network keeps alive); `packets` is the
+  /// owning Network's packet table (read at RC for ejection routing). A
+  /// null `packets` is only valid for routers that never eject, e.g. the
+  /// wiring-validation unit tests.
+  Router(std::uint32_t id, const SimConfig& cfg, const RoutingTables* tables,
+         const PacketTable* packets = nullptr);
 
   /// Wires output port `port`: flits sent there arrive after `latency`.
   void wire_output(std::size_t port, FlitChannel* channel, int latency);
@@ -55,6 +62,11 @@ class Router {
   /// One cycle: RC, VA, SA (+ escape-fallback revocation).
   void step(Cycle now, Rng& rng);
 
+  /// Rewinds every mutable field to the freshly-constructed state (arena
+  /// reuse). Must stay exhaustive: a reset router has to be bit-identical
+  /// to a new one (test_arena pins this).
+  void reset();
+
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   [[nodiscard]] std::size_t network_ports() const noexcept {
     return n_network_ports_;
@@ -71,8 +83,15 @@ class Router {
  private:
   enum class VcState : std::uint8_t { kIdle, kNeedsVc, kActive };
 
+  /// A buffered flit: the 8-byte routing word plus the cycle it becomes
+  /// eligible for switch allocation (arrival + router_latency).
+  struct BufFlit {
+    Flit flit;
+    Cycle ready_time = 0;
+  };
+
   struct InputVc {
-    RingQueue<Flit> buf;
+    RingQueue<BufFlit> buf;
     VcState state = VcState::kIdle;
     int out_port = -1;
     int out_vc = -1;
@@ -114,6 +133,7 @@ class Router {
   std::uint32_t id_;
   SimConfig cfg_;
   const RoutingTables* tables_;
+  const PacketTable* packets_;
   std::size_t n_network_ports_;
   std::size_t n_ports_;
 

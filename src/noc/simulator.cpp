@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -12,7 +14,18 @@ Simulator::Simulator(const graph::Graph& g, const SimConfig& cfg)
 
 Simulator::Simulator(std::shared_ptr<const TopologyContext> topo,
                      const SimConfig& cfg)
-    : cfg_(cfg), net_(std::move(topo), cfg), rng_(cfg.seed) {}
+    : cfg_(cfg),
+      lease_(SimulationArena::owned(std::move(topo), cfg)),
+      net_(lease_.network()),
+      rng_(cfg.seed) {}
+
+Simulator::Simulator(SimulationArena& arena,
+                     std::shared_ptr<const TopologyContext> topo,
+                     const SimConfig& cfg)
+    : cfg_(cfg),
+      lease_(arena.lease(std::move(topo), cfg)),
+      net_(lease_.network()),
+      rng_(cfg.seed) {}
 
 void Simulator::set_traffic(const TrafficSpec& spec) {
   spec.validate(net_.num_endpoints());
@@ -131,6 +144,16 @@ ThroughputResult Simulator::run_throughput(double flit_rate, Cycle warmup,
   return result;
 }
 
+std::uint64_t saturation_rate_key(double rate) noexcept {
+  if (std::isnan(rate)) {
+    // Any NaN payload (or sign) collapses onto the canonical quiet NaN.
+    return std::bit_cast<std::uint64_t>(
+        std::numeric_limits<double>::quiet_NaN());
+  }
+  if (rate == 0.0) rate = 0.0;  // collapse -0.0 onto +0.0 (they compare ==)
+  return std::bit_cast<std::uint64_t>(rate);
+}
+
 SaturationResult find_saturation(const graph::Graph& g, const SimConfig& cfg,
                                  const SaturationSearchOptions& opts,
                                  const TrafficSpec& traffic,
@@ -159,22 +182,23 @@ SaturationResult find_saturation(std::shared_ptr<const TopologyContext> topo,
   auto run_one = [&](double rate) {
     SimConfig probe_cfg = cfg;
     if (opts.per_probe_seeds) {
-      probe_cfg.seed = derive_seed(cfg.seed, std::bit_cast<std::uint64_t>(rate));
+      probe_cfg.seed = derive_seed(cfg.seed, saturation_rate_key(rate));
     }
-    Simulator sim(topo, probe_cfg);  // fresh network on the shared topology
+    // Reset-and-reuse network from the calling worker's arena (bit-identical
+    // to a fresh network on the shared topology, minus the allocator churn).
+    Simulator sim(SimulationArena::local(), topo, probe_cfg);
     sim.set_traffic(traffic);
     return sim.run_throughput(rate, opts.warmup, opts.measure);
   };
 
   // Memoized probes, batched through the executor when one is available.
-  // Keyed by the rate's bit pattern: probe rates repeat exactly (they are
-  // recomputed from the same midpoint arithmetic), so an O(1) bit-equality
-  // hash lookup replaces ordered exact-double operator< comparisons on the
-  // probe path.
+  // Keyed by the rate's canonicalized bit pattern (saturation_rate_key:
+  // -0.0 folded onto +0.0, NaNs onto one NaN): probe rates repeat exactly
+  // (they are recomputed from the same midpoint arithmetic), so an O(1)
+  // bit-equality hash lookup replaces ordered exact-double operator<
+  // comparisons on the probe path.
   std::unordered_map<std::uint64_t, ThroughputResult> memo;
-  const auto rate_key = [](double rate) {
-    return std::bit_cast<std::uint64_t>(rate);
-  };
+  const auto rate_key = [](double rate) { return saturation_rate_key(rate); };
   auto ensure = [&](std::initializer_list<double> rates) {
     std::vector<double> missing;
     for (double r : rates) {

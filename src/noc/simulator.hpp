@@ -7,12 +7,14 @@
 // multiplies by the full global bandwidth to obtain Tb/s.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "noc/arena.hpp"
 #include "noc/config.hpp"
 #include "noc/network.hpp"
 #include "noc/topology.hpp"
@@ -85,6 +87,13 @@ struct SaturationResult {
   int probes = 0;
 };
 
+/// Canonical bit pattern of an offered-rate memo key: collapses -0.0 onto
+/// +0.0 and every NaN onto one canonical quiet NaN, so the bit-pattern
+/// hashing in find_saturation's probe memo (and the per-probe seed
+/// derivation) can neither split a rate that compares equal nor alias
+/// distinct NaN payloads. Exposed for the regression tests in test_arena.
+[[nodiscard]] std::uint64_t saturation_rate_key(double rate) noexcept;
+
 /// Finds the saturation throughput the way BookSim-based studies do
 /// (Sec. VI-A): sweep the offered load for the knee of the accepted-vs-
 /// offered curve via binary search, running each probe on a fresh network.
@@ -111,7 +120,8 @@ struct SaturationResult {
     const SaturationSearchOptions& opts = {},
     const TrafficSpec& traffic = {}, ProbeExecutor* executor = nullptr);
 
-/// Owns a Network plus RNG/traffic state and runs measurement phases.
+/// Drives a Network (owned outright or leased from a SimulationArena) plus
+/// RNG/traffic state and runs measurement phases.
 class Simulator {
  public:
   /// Acquires the shared TopologyContext for `g` (table build only when no
@@ -121,6 +131,14 @@ class Simulator {
   /// Runs on a pre-built shared topology (no table build at all). Any
   /// number of concurrent Simulators may share one context.
   Simulator(std::shared_ptr<const TopologyContext> topo, const SimConfig& cfg);
+
+  /// Runs on a network leased from `arena` (reset-and-reuse instead of
+  /// construction when the arena has one for this topology + structural
+  /// config). Results are bit-identical to the owning constructors; this
+  /// is the hot-path entry every probe of find_saturation and evaluate()
+  /// uses via SimulationArena::local().
+  Simulator(SimulationArena& arena, std::shared_ptr<const TopologyContext> topo,
+            const SimConfig& cfg);
 
   /// Selects the traffic pattern for subsequent runs (default: uniform
   /// random, the paper's setup). Throws std::invalid_argument right here —
@@ -148,7 +166,8 @@ class Simulator {
   void tick(SyntheticTraffic& traffic);
 
   SimConfig cfg_;
-  Network net_;
+  SimulationArena::Lease lease_;  ///< owns or borrows the network
+  Network& net_;                  ///< lease_.network()
   Rng rng_;
   TrafficSpec traffic_spec_;
   Cycle now_ = 0;

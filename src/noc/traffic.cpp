@@ -79,8 +79,8 @@ std::optional<Packet> UniformRandomTraffic::maybe_generate(std::uint16_t src,
   // Uniform destination among the other endpoints.
   auto dst = static_cast<std::uint16_t>(rng.uniform_int(num_endpoints_ - 1));
   if (dst >= src) ++dst;
-  Packet p;
-  p.id = next_id_++;
+  ++generated_;
+  Packet p;  // id is assigned by the PacketTable at source-queue admission
   p.src_endpoint = src;
   p.dst_endpoint = dst;
   p.length = static_cast<std::uint16_t>(packet_length_);
@@ -161,8 +161,8 @@ std::optional<Packet> SyntheticTraffic::maybe_generate(std::uint16_t src,
   }
   if (dst == src) return std::nullopt;  // self-traffic carries no ICI load
 
-  Packet p;
-  p.id = next_id_++;
+  ++generated_;
+  Packet p;  // id is assigned by the PacketTable at source-queue admission
   p.src_endpoint = src;
   p.dst_endpoint = dst;
   p.length = static_cast<std::uint16_t>(packet_length_);

@@ -66,7 +66,7 @@ class UniformRandomTraffic {
 
   [[nodiscard]] double flit_rate() const noexcept { return flit_rate_; }
   [[nodiscard]] std::uint64_t packets_generated() const noexcept {
-    return next_id_;
+    return generated_;
   }
 
  private:
@@ -74,7 +74,8 @@ class UniformRandomTraffic {
   double flit_rate_;
   int packet_length_;
   double packet_rate_;
-  std::uint32_t next_id_ = 0;
+  std::uint64_t generated_ = 0;  ///< packets returned (ids come from the
+                                 ///< PacketTable at admission, not here)
 };
 
 /// Bernoulli packet source with configurable destination pattern. Behaves
@@ -106,7 +107,8 @@ class SyntheticTraffic {
   double packet_rate_;
   int packet_length_;
   std::vector<std::uint16_t> permutation_;
-  std::uint32_t next_id_ = 0;
+  std::uint64_t generated_ = 0;  ///< packets returned (ids come from the
+                                 ///< PacketTable at admission, not here)
 };
 
 }  // namespace hm::noc

@@ -1,0 +1,292 @@
+// SimulationArena contract tests: a probe on a reset arena network must be
+// bit-identical to the same probe on a fresh Network, across routing modes,
+// seeds and traffic patterns; the SoA flit path must conserve flits; and
+// find_saturation's bit-pattern rate memo must normalize -0.0/NaN keys.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "explore/export.hpp"
+#include "explore/sweep.hpp"
+#include "explore/thread_pool.hpp"
+#include "noc/arena.hpp"
+#include "noc/simulator.hpp"
+#include "noc/topology.hpp"
+
+namespace {
+
+using hm::noc::Rng;
+using hm::noc::RoutingMode;
+using hm::noc::SimConfig;
+using hm::noc::SimulationArena;
+using hm::noc::Simulator;
+using hm::noc::ThroughputResult;
+using hm::noc::TopologyContext;
+using hm::noc::TrafficPattern;
+using hm::noc::TrafficSpec;
+
+std::shared_ptr<const TopologyContext> hexamesh_topo(std::size_t n) {
+  return TopologyContext::acquire(
+      hm::core::make_arrangement(hm::core::ArrangementType::kHexaMesh, n)
+          .graph());
+}
+
+void expect_same(const ThroughputResult& a, const ThroughputResult& b) {
+  // Bit-identical, not approximately equal: the arena reuse contract.
+  EXPECT_EQ(a.offered_flit_rate, b.offered_flit_rate);
+  EXPECT_EQ(a.accepted_flit_rate, b.accepted_flit_rate);
+  EXPECT_EQ(a.generated_flit_rate, b.generated_flit_rate);
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets);
+}
+
+ThroughputResult probe_fresh(std::shared_ptr<const TopologyContext> topo,
+                             const SimConfig& cfg, const TrafficSpec& traffic,
+                             double rate) {
+  Simulator sim(std::move(topo), cfg);  // fresh Network, no arena
+  sim.set_traffic(traffic);
+  return sim.run_throughput(rate, 400, 400);
+}
+
+ThroughputResult probe_arena(SimulationArena& arena,
+                             std::shared_ptr<const TopologyContext> topo,
+                             const SimConfig& cfg, const TrafficSpec& traffic,
+                             double rate) {
+  Simulator sim(arena, std::move(topo), cfg);
+  sim.set_traffic(traffic);
+  return sim.run_throughput(rate, 400, 400);
+}
+
+// --- Reset-vs-fresh equivalence --------------------------------------------
+
+TEST(SimulationArena, ResetProbesMatchFreshNetworksAcrossModesAndSeeds) {
+  const auto topo = hexamesh_topo(9);
+  const std::vector<double> rates = {1.0, 0.5, 0.25, 0.75, 0.5};  // repeats
+  for (const RoutingMode mode :
+       {RoutingMode::kMinimalAdaptive, RoutingMode::kDeterministicMinimal,
+        RoutingMode::kUpDownOnly}) {
+    for (const unsigned long long seed : {1ULL, 42ULL, 1234ULL}) {
+      SimConfig cfg;
+      cfg.routing = mode;
+      cfg.seed = seed;
+      SimulationArena arena(2);
+      for (const double rate : rates) {
+        const auto fresh = probe_fresh(topo, cfg, TrafficSpec{}, rate);
+        const auto reused = probe_arena(arena, topo, cfg, TrafficSpec{}, rate);
+        expect_same(fresh, reused);
+      }
+      // Every probe after the first hit the arena.
+      EXPECT_EQ(arena.stats().networks_built, 1u);
+      EXPECT_EQ(arena.stats().networks_reused, rates.size() - 1);
+    }
+  }
+}
+
+TEST(SimulationArena, ResetClearsDirtyStateFromDifferentTraffic) {
+  const auto topo = hexamesh_topo(9);
+  SimConfig cfg;
+  SimulationArena arena(2);
+
+  // Saturate with hotspot traffic first: the released network is full of
+  // in-flight flits, queued packets and nonzero statistics.
+  TrafficSpec hotspot;
+  hotspot.pattern = TrafficPattern::kHotspot;
+  hotspot.hotspot_fraction = 0.4;
+  (void)probe_arena(arena, topo, cfg, hotspot, 1.0);
+
+  // A reused (reset) network must reproduce a fresh network bit for bit.
+  const auto fresh = probe_fresh(topo, cfg, TrafficSpec{}, 0.6);
+  const auto reused = probe_arena(arena, topo, cfg, TrafficSpec{}, 0.6);
+  expect_same(fresh, reused);
+  EXPECT_GE(arena.stats().networks_reused, 1u);
+}
+
+TEST(SimulationArena, LatencyRunsMatchFresh) {
+  const auto topo = hexamesh_topo(7);
+  SimConfig cfg;
+  SimulationArena arena(2);
+  (void)probe_arena(arena, topo, cfg, TrafficSpec{}, 1.0);  // dirty the slot
+
+  Simulator fresh(topo, cfg);
+  fresh.set_traffic(TrafficSpec{});
+  const auto a = fresh.run_latency(0.05, 300, 600, 60000);
+
+  Simulator reused(arena, topo, cfg);
+  reused.set_traffic(TrafficSpec{});
+  const auto b = reused.run_latency(0.05, 300, 600, 60000);
+
+  EXPECT_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.drained, b.drained);
+}
+
+// --- Arena mechanics --------------------------------------------------------
+
+TEST(SimulationArena, SeedIsNotPartOfTheReuseKey) {
+  const auto topo = hexamesh_topo(4);
+  SimConfig cfg;
+  SimulationArena arena(2);
+  cfg.seed = 1;
+  (void)probe_arena(arena, topo, cfg, TrafficSpec{}, 0.5);
+  cfg.seed = 2;  // different RNG stream, same network structure
+  (void)probe_arena(arena, topo, cfg, TrafficSpec{}, 0.5);
+  EXPECT_EQ(arena.stats().networks_built, 1u);
+  EXPECT_EQ(arena.stats().networks_reused, 1u);
+}
+
+TEST(SimulationArena, StructuralConfigChangeMisses) {
+  const auto topo = hexamesh_topo(4);
+  SimConfig cfg;
+  SimulationArena arena(4);
+  (void)probe_arena(arena, topo, cfg, TrafficSpec{}, 0.5);
+  cfg.vcs = 4;  // different network structure
+  (void)probe_arena(arena, topo, cfg, TrafficSpec{}, 0.5);
+  EXPECT_EQ(arena.stats().networks_built, 2u);
+  EXPECT_EQ(arena.stats().networks_reused, 0u);
+}
+
+TEST(SimulationArena, ConcurrentLeasesFallBackToOneOffNetworks) {
+  const auto topo = hexamesh_topo(4);
+  const SimConfig cfg;
+  SimulationArena arena(1);  // one slot
+  auto first = arena.lease(topo, cfg);
+  ASSERT_TRUE(first.valid());
+  EXPECT_TRUE(first.arena_backed());
+  auto second = arena.lease(topo, cfg);  // slot checked out -> one-off
+  ASSERT_TRUE(second.valid());
+  EXPECT_FALSE(second.arena_backed());
+  EXPECT_NE(&first.network(), &second.network());
+  EXPECT_EQ(arena.stats().oneoff_networks, 1u);
+
+  // Releasing the first lease frees the slot for reuse.
+  first = SimulationArena::Lease{};
+  auto third = arena.lease(topo, cfg);
+  EXPECT_TRUE(third.arena_backed());
+  EXPECT_EQ(arena.stats().networks_reused, 1u);
+}
+
+TEST(SimulationArena, PacketTableRestartsPerReset) {
+  const auto topo = hexamesh_topo(4);
+  const SimConfig cfg;
+  SimulationArena arena(1);
+  {
+    Simulator sim(arena, topo, cfg);
+    sim.set_traffic(TrafficSpec{});
+    (void)sim.run_throughput(0.5, 200, 200);
+    EXPECT_GT(sim.network().packets().size(), 0u);
+  }
+  auto lease = arena.lease(topo, cfg);  // reset happens at checkout
+  EXPECT_EQ(lease.network().packets().size(), 0u);
+}
+
+// --- Flit conservation on the SoA path --------------------------------------
+
+TEST(SimulationArena, SoaPathConservesFlits) {
+  const auto topo = hexamesh_topo(9);
+  SimConfig cfg;
+  SimulationArena arena(1);
+  for (int round = 0; round < 2; ++round) {  // round 2 runs on a reset net
+    Simulator sim(arena, topo, cfg);
+    sim.set_traffic(TrafficSpec{});
+    (void)sim.run_throughput(1.0, 500, 500);  // saturated: full buffers
+    std::string why;
+    EXPECT_TRUE(sim.network().invariants_ok(&why)) << why;
+    EXPECT_EQ(sim.network().total_flits_injected(),
+              sim.network().total_flits_ejected() +
+                  sim.network().flits_in_network());
+  }
+}
+
+// --- find_saturation integration --------------------------------------------
+
+TEST(SimulationArena, FindSaturationIsStableAcrossRepeatsAndExecutors) {
+  const auto topo = hexamesh_topo(9);
+  SimConfig cfg;
+  hm::noc::SaturationSearchOptions opts;
+  opts.warmup = 400;
+  opts.measure = 400;
+
+  const auto sequential = find_saturation(topo, cfg, opts);
+  // Repeat on the (now warm) thread-local arena: same result bit for bit.
+  const auto repeated = find_saturation(topo, cfg, opts);
+  EXPECT_EQ(sequential.saturation_flit_rate, repeated.saturation_flit_rate);
+  EXPECT_EQ(sequential.accepted_flit_rate, repeated.accepted_flit_rate);
+
+  // Speculative parallel search through a bounded executor: identical rates
+  // (the executor only changes scheduling, never results).
+  hm::explore::ThreadPool pool(4);
+  hm::explore::BoundedProbeExecutor bounded(&pool, 2);
+  const auto parallel = find_saturation(topo, cfg, opts, TrafficSpec{},
+                                        &bounded);
+  EXPECT_EQ(sequential.saturation_flit_rate, parallel.saturation_flit_rate);
+  EXPECT_EQ(sequential.accepted_flit_rate, parallel.accepted_flit_rate);
+}
+
+// --- Bounded executor --------------------------------------------------------
+
+TEST(BoundedProbeExecutor, RunsEveryJobExactlyOnce) {
+  hm::explore::ThreadPool pool(4);
+  hm::explore::BoundedProbeExecutor bounded(&pool, 2);
+  std::atomic<int> runs{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 7; ++i) jobs.push_back([&runs] { ++runs; });
+  bounded.run_batch(jobs);
+  EXPECT_EQ(runs.load(), 7);
+
+  // Degenerate cap: inline execution.
+  hm::explore::BoundedProbeExecutor inline_exec(&pool, 1);
+  runs = 0;
+  bounded.run_batch(jobs);  // jobs are reusable (borrowed, not consumed)
+  inline_exec.run_batch(jobs);
+  EXPECT_EQ(runs.load(), 14);
+}
+
+TEST(BoundedProbeExecutor, IntraDesignSweepMatchesPlainSweep) {
+  // End to end through the engine: capped intra-design parallelism must
+  // produce byte-identical exports to the plain per-job evaluation.
+  hm::core::EvaluationParams params;
+  params.latency_warmup = 200;
+  params.latency_measure = 400;
+  params.latency_drain_limit = 60000;
+  params.throughput_warmup = 300;
+  params.throughput_measure = 300;
+  hm::explore::SweepSpec spec;
+  spec.chiplet_counts = {4, 7};
+  spec.param_grid = {params};
+
+  hm::explore::SweepEngine::Options plain;
+  plain.threads = 2;
+  const auto baseline = hm::explore::SweepEngine(plain).run(spec);
+
+  hm::explore::SweepEngine::Options intra;
+  intra.threads = 4;
+  intra.intra_design_parallelism = true;
+  intra.max_intra_probes = 2;
+  const auto capped = hm::explore::SweepEngine(intra).run(spec);
+
+  EXPECT_EQ(hm::explore::to_csv(baseline), hm::explore::to_csv(capped));
+}
+
+// --- Saturation memo rate-key normalization (regression) ---------------------
+
+TEST(SaturationRateKey, NormalizesNegativeZeroAndNan) {
+  using hm::noc::saturation_rate_key;
+  EXPECT_EQ(saturation_rate_key(0.0), saturation_rate_key(-0.0));
+  EXPECT_EQ(saturation_rate_key(0.0), std::bit_cast<std::uint64_t>(0.0));
+
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double payload_nan = std::nan("0x1234");
+  EXPECT_EQ(saturation_rate_key(qnan), saturation_rate_key(payload_nan));
+  EXPECT_EQ(saturation_rate_key(qnan), saturation_rate_key(-qnan));
+
+  // Ordinary rates keep their exact bit patterns (distinct keys).
+  EXPECT_EQ(saturation_rate_key(0.5), std::bit_cast<std::uint64_t>(0.5));
+  EXPECT_NE(saturation_rate_key(0.5), saturation_rate_key(0.25));
+  EXPECT_NE(saturation_rate_key(1.0), saturation_rate_key(0.0));
+}
+
+}  // namespace

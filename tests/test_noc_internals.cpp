@@ -18,6 +18,7 @@ using hm::noc::Endpoint;
 using hm::noc::Flit;
 using hm::noc::FlitChannel;
 using hm::noc::Packet;
+using hm::noc::PacketTable;
 using hm::noc::Router;
 using hm::noc::RoutingTables;
 using hm::noc::SimConfig;
@@ -76,15 +77,19 @@ SimConfig small_config() {
 
 TEST(Endpoint, InjectsHeadBodyTailInOrder) {
   const SimConfig cfg = small_config();
-  Endpoint ep(0, cfg);
+  PacketTable packets;
+  Endpoint ep(0, cfg, &packets);
   FlitChannel inj;
   ep.wire_injection(&inj, 1);
   Packet p;
-  p.id = 9;
   p.src_endpoint = 0;
   p.dst_endpoint = 5;
   p.length = 3;
   ASSERT_TRUE(ep.try_enqueue(p));
+  // The cold half went into the packet table exactly once.
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].dst_endpoint, 5);
+  EXPECT_EQ(packets[0].length, 3);
   ep.inject(0);
   ep.inject(1);
   ep.receive_credit(0);  // free a buffer slot so the tail can follow
@@ -100,12 +105,14 @@ TEST(Endpoint, InjectsHeadBodyTailInOrder) {
   EXPECT_TRUE(tail.tail);
   EXPECT_EQ(head.vc, body.vc);
   EXPECT_EQ(head.vc, tail.vc);
+  EXPECT_EQ(head.packet_id, 0u);  // table id, not the generator's
   EXPECT_EQ(head.dst_router, 5 / cfg.endpoints_per_chiplet);
 }
 
 TEST(Endpoint, StallsWithoutCredits) {
   const SimConfig cfg = small_config();  // 2 VCs x 2 credits
-  Endpoint ep(0, cfg);
+  PacketTable packets;
+  Endpoint ep(0, cfg, &packets);
   FlitChannel inj;
   ep.wire_injection(&inj, 1);
   Packet p;
@@ -125,7 +132,8 @@ TEST(Endpoint, StallsWithoutCredits) {
 
 TEST(Endpoint, PendingFlitsTracksPartialInjection) {
   const SimConfig cfg = small_config();
-  Endpoint ep(0, cfg);
+  PacketTable packets;
+  Endpoint ep(0, cfg, &packets);
   FlitChannel inj;
   ep.wire_injection(&inj, 1);
   Packet p;
@@ -140,14 +148,21 @@ TEST(Endpoint, PendingFlitsTracksPartialInjection) {
 
 TEST(Endpoint, SinkCountsOnlyWindowedPackets) {
   const SimConfig cfg = small_config();
-  Endpoint ep(4, cfg);
+  PacketTable packets;
+  Endpoint ep(4, cfg, &packets);
   ep.set_measurement_window(100, 200);
+  // Register the cold records the sink will look up by packet id.
+  Packet before;
+  before.src_endpoint = 0;
+  before.dst_endpoint = 4;
+  before.gen_time = 50;  // before the window
+  Packet inside = before;
+  inside.gen_time = 150;  // inside
   Flit tail;
-  tail.dst_endpoint = 4;
   tail.tail = true;
-  tail.gen_time = 50;  // before the window
+  tail.packet_id = packets.add(before);
   ep.receive_flit(tail, 90);
-  tail.gen_time = 150;  // inside
+  tail.packet_id = packets.add(inside);
   ep.receive_flit(tail, 190);
   EXPECT_EQ(ep.sink().packets_ejected, 2u);
   EXPECT_EQ(ep.sink().tagged_packets, 1u);
@@ -155,10 +170,12 @@ TEST(Endpoint, SinkCountsOnlyWindowedPackets) {
 }
 
 TEST(Endpoint, WiringValidation) {
-  Endpoint ep(0, small_config());
+  PacketTable packets;
+  Endpoint ep(0, small_config(), &packets);
   FlitChannel ch;
   EXPECT_THROW(ep.wire_injection(nullptr, 1), std::invalid_argument);
   EXPECT_THROW(ep.wire_injection(&ch, 0), std::invalid_argument);
+  EXPECT_THROW(Endpoint(0, small_config(), nullptr), std::invalid_argument);
 }
 
 // --- Router wiring -------------------------------------------------------------

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for BENCH_perf.json.
+
+Compares a freshly measured perf JSON against the committed baseline and
+fails (exit 1) when:
+
+  * a guarded wall-clock metric (sim_cycle.* or sweep21.wall_s.t1) regressed
+    by more than --max-regression (default 1.25, i.e. >25% slower), or
+  * the 8-thread sweep speedup dropped below --min-speedup-t8 (default 2.0).
+
+The speedup check only applies when the measuring host can scale at all:
+it is skipped (with a note) when the fresh JSON's host.hardware_threads —
+or, absent that key, this machine's cpu count — is below
+--min-cores-for-scaling (default 4). A 1-core CI runner measuring
+speedup.t8 ~= 1.0 is oversubscription, not a contention regression.
+
+Caveat: the guarded metrics are absolute wall-clock numbers, so the
+baseline and the fresh measurement ideally come from the same host class.
+The default 1.25x headroom absorbs typical per-core variance between CI
+runners; if the runner fleet changes for good, re-baseline the committed
+BENCH_perf.json (or tune --max-regression) instead of accepting a
+permanently red or permanently vacuous gate.
+
+Usage: check_perf_regression.py BASELINE_JSON FRESH_JSON [options]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GUARDED_PREFIXES = ("sim_cycle.",)
+GUARDED_KEYS = ("sweep21.wall_s.t1",)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a flat JSON object")
+    return {k: float(v) for k, v in data.items()
+            if isinstance(v, (int, float))}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_perf.json")
+    ap.add_argument("fresh", help="freshly measured perf JSON")
+    ap.add_argument("--max-regression", type=float, default=1.25,
+                    help="fail when fresh > baseline * this (default 1.25)")
+    ap.add_argument("--min-speedup-t8", type=float, default=2.0,
+                    help="minimum sweep21.speedup.t8 (default 2.0)")
+    ap.add_argument("--min-cores-for-scaling", type=int, default=4,
+                    help="skip the speedup check below this core count")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+
+    for key in sorted(fresh):
+        if key not in GUARDED_KEYS and not key.startswith(GUARDED_PREFIXES):
+            continue
+        if key not in baseline:
+            print(f"  new metric (no baseline): {key} = {fresh[key]:.6g}")
+            continue
+        ratio = fresh[key] / baseline[key] if baseline[key] > 0 else 1.0
+        status = "ok"
+        if ratio > args.max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: {baseline[key]:.6g} -> {fresh[key]:.6g} "
+                f"({ratio:.2f}x, limit {args.max_regression:.2f}x)")
+        print(f"  {key}: {baseline[key]:.6g} -> {fresh[key]:.6g} "
+              f"({ratio:.2f}x) {status}")
+
+    cores = int(fresh.get("host.hardware_threads") or os.cpu_count() or 1)
+    speedup = fresh.get("sweep21.speedup.t8")
+    if cores < args.min_cores_for_scaling:
+        print(f"  sweep21.speedup.t8 check skipped: host has {cores} "
+              f"core(s), need >= {args.min_cores_for_scaling} to scale")
+    elif speedup is None:
+        print("  sweep21.speedup.t8 missing from fresh JSON; skipped")
+    else:
+        ok = speedup >= args.min_speedup_t8
+        print(f"  sweep21.speedup.t8 = {speedup:.2f} "
+              f"(min {args.min_speedup_t8:.2f}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"sweep21.speedup.t8 = {speedup:.2f} < "
+                f"{args.min_speedup_t8:.2f} on a {cores}-core host")
+
+    if failures:
+        print("\nperf gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
