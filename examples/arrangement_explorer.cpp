@@ -44,25 +44,39 @@ void show(ArrangementType type, std::size_t n) {
 
 int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "all";
-  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 37;
-  if (n < 1) {
-    std::fprintf(stderr, "N must be >= 1\n");
-    return 1;
+  std::size_t n = 37;
+  if (argc > 2) {
+    // Reject garbage and negative values (which strtoul would wrap into
+    // huge counts) up front; degenerate sizes like 0 fall through to
+    // make_arrangement, which reports one uniform error for every family.
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(argv[2], &end, 10);
+    if (end == argv[2] || *end != '\0' || std::strchr(argv[2], '-') ||
+        parsed > 100000) {
+      std::fprintf(stderr, "N must be a chiplet count in [1, 100000]\n");
+      return 1;
+    }
+    n = static_cast<std::size_t>(parsed);
   }
 
-  if (which == "grid") {
-    show(ArrangementType::kGrid, n);
-  } else if (which == "brickwall") {
-    show(ArrangementType::kBrickwall, n);
-  } else if (which == "hexamesh") {
-    show(ArrangementType::kHexaMesh, n);
-  } else if (which == "all") {
-    show(ArrangementType::kGrid, n);
-    show(ArrangementType::kBrickwall, n);
-    show(ArrangementType::kHexaMesh, n);
-  } else {
-    std::fprintf(stderr,
-                 "usage: %s [grid|brickwall|hexamesh|all] [N]\n", argv[0]);
+  try {
+    if (which == "grid") {
+      show(ArrangementType::kGrid, n);
+    } else if (which == "brickwall") {
+      show(ArrangementType::kBrickwall, n);
+    } else if (which == "hexamesh") {
+      show(ArrangementType::kHexaMesh, n);
+    } else if (which == "all") {
+      show(ArrangementType::kGrid, n);
+      show(ArrangementType::kBrickwall, n);
+      show(ArrangementType::kHexaMesh, n);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [grid|brickwall|hexamesh|all] [N]\n", argv[0]);
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
   return 0;

@@ -94,6 +94,15 @@ std::string Arrangement::name() const {
 }
 
 Arrangement make_arrangement(ArrangementType type, std::size_t n) {
+  // Validated once here, with one message for every family: the per-family
+  // factories historically rejected degenerate sizes with family-specific
+  // errors (or, for sizes near 0 reached through family helpers, none at
+  // all), which callers like arrangement_explorer surfaced inconsistently.
+  if (n < 1) {
+    throw std::invalid_argument(
+        "make_arrangement: chiplet count must be >= 1 (got " +
+        std::to_string(n) + ") for " + to_string(type));
+  }
   switch (type) {
     case ArrangementType::kGrid: return make_grid(n);
     case ArrangementType::kBrickwall: return make_brickwall(n);

@@ -104,7 +104,8 @@ class Arrangement {
 
 /// Factory dispatching on type with automatic regularity classification
 /// (see make_grid / make_brickwall / make_hexamesh / make_honeycomb).
-/// Requires n >= 1.
+/// Degenerate sizes are validated here, once for every family: n == 0
+/// throws std::invalid_argument with a uniform, family-tagged message.
 [[nodiscard]] Arrangement make_arrangement(ArrangementType type,
                                            std::size_t n);
 

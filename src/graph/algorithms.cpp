@@ -71,6 +71,52 @@ bool is_connected(const Graph& g) {
                       [](int d) { return d == kUnreachable; });
 }
 
+std::vector<std::pair<NodeId, NodeId>> bridges(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<int> disc(n, -1);  // DFS discovery time; -1 = unvisited
+  std::vector<int> low(n, 0);    // lowest discovery time reachable
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<std::pair<NodeId, NodeId>> out;
+  int timer = 0;
+
+  // Iterative DFS (explicit stack of (vertex, next-neighbour index));
+  // the graph is simple, so skipping exactly the parent vertex is safe.
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (disc[start] != -1) continue;
+    disc[start] = low[start] = timer++;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      const NodeId v = stack.back().first;
+      const auto nbrs = g.neighbors(v);
+      if (stack.back().second < nbrs.size()) {
+        const NodeId w = nbrs[stack.back().second++];
+        if (w == parent[v]) continue;
+        if (disc[w] == -1) {
+          parent[w] = v;
+          disc[w] = low[w] = timer++;
+          stack.emplace_back(w, 0);
+        } else {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          const NodeId p = stack.back().first;
+          low[p] = std::min(low[p], low[v]);
+          // No back edge from v's subtree climbs above p: {p, v} is the
+          // subtree's only link to the rest of the component.
+          if (low[v] > disc[p]) {
+            out.emplace_back(std::min(p, v), std::max(p, v));
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool satisfies_planar_bound(const Graph& g) {
   const std::size_t v = g.node_count();
   if (v < 3) return true;

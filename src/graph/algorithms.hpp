@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -35,6 +36,13 @@ inline constexpr int kUnreachable = -1;
 
 /// True iff every vertex is reachable from every other (or v <= 1).
 [[nodiscard]] bool is_connected(const Graph& g);
+
+/// All bridges — edges whose removal disconnects their component — as
+/// (a, b) pairs with a < b, lexicographically sorted. One DFS low-link
+/// pass (Tarjan); works per component on disconnected graphs. Used by the
+/// arrangement search to enumerate the legally removable D2D links in
+/// O(v + e) instead of one connectivity check per edge.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> bridges(const Graph& g);
 
 /// True iff the graph satisfies the planar edge bound e <= 3v - 6 for v >= 3
 /// (vacuously true for v < 3). All shared-edge chiplet-adjacency graphs are

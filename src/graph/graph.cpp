@@ -38,6 +38,22 @@ void Graph::add_edge(NodeId a, NodeId b) {
   ++edge_count_;
 }
 
+void Graph::remove_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  if (!has_edge(a, b)) {
+    throw std::invalid_argument("Graph: cannot remove missing edge {" +
+                                std::to_string(a) + ", " + std::to_string(b) +
+                                "}");
+  }
+  auto erase_sorted = [](std::vector<NodeId>& list, NodeId v) {
+    list.erase(std::lower_bound(list.begin(), list.end(), v));
+  };
+  erase_sorted(adj_[a], b);
+  erase_sorted(adj_[b], a);
+  --edge_count_;
+}
+
 std::span<const NodeId> Graph::neighbors(NodeId v) const {
   check_node(v);
   return adj_[v];

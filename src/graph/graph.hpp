@@ -33,6 +33,10 @@ class Graph {
   /// out-of-range endpoints with std::out_of_range.
   void add_edge(NodeId a, NodeId b);
 
+  /// Removes the undirected edge {a, b}. A missing edge is rejected with
+  /// std::invalid_argument; out-of-range endpoints with std::out_of_range.
+  void remove_edge(NodeId a, NodeId b);
+
   /// Number of vertices.
   [[nodiscard]] std::size_t node_count() const noexcept { return adj_.size(); }
 

@@ -34,7 +34,29 @@ namespace hm::noc {
 struct EscapeHop {
   std::uint8_t port = 0;        ///< index into graph.neighbors(current)
   std::uint8_t next_phase = 0;  ///< 0 = still ascending, 1 = descending
+  friend bool operator==(const EscapeHop&, const EscapeHop&) = default;
 };
+
+/// A local edit of an arrangement graph: edges removed from and added to a
+/// fixed vertex set (the node count never changes — a chiplet relocation
+/// moves a vertex's incident edges, it never deletes the vertex). `removed`
+/// edges must exist in the pre-edit graph and `added` edges must be absent
+/// from it; endpoint order within a pair is irrelevant. This is the unit of
+/// change the arrangement-search mutations produce and the incremental
+/// routing-table rebuild consumes.
+struct GraphEdit {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> removed;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> added;
+  [[nodiscard]] bool empty() const noexcept {
+    return removed.empty() && added.empty();
+  }
+};
+
+/// Returns a copy of `g` with `edit` applied (removals first, then
+/// additions). Throws std::invalid_argument when a removed edge is missing
+/// or an added edge already exists.
+[[nodiscard]] graph::Graph apply_edit(const graph::Graph& g,
+                                      const GraphEdit& edit);
 
 /// Precomputed routing tables for a fixed topology.
 class RoutingTables {
@@ -42,6 +64,34 @@ class RoutingTables {
   /// Builds tables for `g`, which must be connected with >= 1 vertex and
   /// degree <= 255 (std::invalid_argument otherwise).
   explicit RoutingTables(const graph::Graph& g);
+
+  /// Incremental build: `g` must equal `edit` applied to the graph `prev`
+  /// was built for (same vertex set — node-count changes fall back to a
+  /// full build, as does any edit that invalidates more than half of the
+  /// distance rows, e.g. a chiplet relocation, which genuinely changes
+  /// d(u, moved) for nearly every u). Only the distance rows the edit
+  /// actually changes are re-run through BFS, decided by exact per-row
+  /// criteria over prev's distances: a removed edge invalidates row u only
+  /// when it is tight (|d(u,a) - d(u,b)| == 1) *and* its far endpoint
+  /// keeps no surviving tight predecessor (with one, every vertex still
+  /// has an old-length path, by induction over BFS depth — path diversity
+  /// makes most mesh edge toggles a no-op row-wise); an added edge only
+  /// when |d(u,a) - d(u,b)| >= 2 (with every gap <= 1, no path through
+  /// the added edges can beat the old distances). Likewise only the
+  /// minimal-port CSR segments whose inputs (the row's own distances, a
+  /// neighbour's distances, or the neighbour list itself) changed are
+  /// recomputed; everything else is copied from `prev` byte for byte. The
+  /// up*/down* escape tables rebuild per destination column: when the root
+  /// and its distance row survive the edit (so the orientation keys are
+  /// unchanged), the stored backward state-BFS distances let the same
+  /// tight-inlet/shortcut criteria decide which destinations the edited
+  /// transitions can reach at all — surviving columns are copied with only
+  /// the edit-incident routers' hops re-derived (their port numbering
+  /// changed), the rest re-run the full per-destination build. The result
+  /// is bit-identical to RoutingTables(g) by construction (and by the
+  /// property tests in test_search).
+  RoutingTables(const graph::Graph& g, const RoutingTables& prev,
+                const GraphEdit& edit);
 
   /// Hop distance between routers.
   [[nodiscard]] int distance(graph::NodeId u, graph::NodeId v) const {
@@ -81,7 +131,40 @@ class RoutingTables {
   /// chain" — is asserted by tests through deltas of this counter.
   [[nodiscard]] static std::uint64_t lifetime_builds() noexcept;
 
+  /// Process-lifetime counts of incremental builds that stayed incremental
+  /// (vs. falling back to a full rebuild) and of distance rows copied from
+  /// the previous tables instead of re-running BFS. Observability for the
+  /// search bench and the equivalence tests.
+  [[nodiscard]] static std::uint64_t incremental_builds() noexcept;
+  [[nodiscard]] static std::uint64_t incremental_rows_reused() noexcept;
+
+  /// True iff every table (distances, minimal-port CSR, escape hops, root,
+  /// degrees) compares equal element for element. The incremental-vs-full
+  /// equivalence contract of the (g, prev, edit) constructor.
+  [[nodiscard]] bool identical_to(const RoutingTables& o) const;
+
  private:
+  /// Shared table-construction phases (both constructors funnel through
+  /// these so incremental and from-scratch builds run identical code).
+  void build_full(const graph::Graph& g);
+  void build_min_port_row(const graph::Graph& g, graph::NodeId cur);
+  void build_escape(const graph::Graph& g);
+  /// Graph center the escape tree roots at (argmin eccentricity over the
+  /// current dist_ matrix, smallest id on ties).
+  [[nodiscard]] graph::NodeId select_escape_root() const;
+  /// Backward state-graph BFS + forward hop assignment for one
+  /// destination. `depth` is the root's distance row (the up*/down*
+  /// orientation key); writes escape_[*][flat(*, dst)] and the dst block
+  /// of escape_sdist_.
+  void build_escape_column(const graph::Graph& g, const std::vector<int>& depth,
+                           graph::NodeId dst);
+  /// Forward next hop of state (u, phase) toward dst given the dst
+  /// column's state distances `sd`; the default hop for unreachable
+  /// states. Exactly the selection loop of the full build.
+  [[nodiscard]] EscapeHop forward_escape_hop(const graph::Graph& g,
+                                             const std::vector<int>& depth,
+                                             graph::NodeId dst, graph::NodeId u,
+                                             int phase, const int* sd) const;
   [[nodiscard]] std::size_t flat(graph::NodeId u, graph::NodeId v) const {
     return static_cast<std::size_t>(u) * n_ + v;
   }
@@ -94,6 +177,12 @@ class RoutingTables {
   std::vector<std::uint8_t> min_port_data_;     ///< concatenated port sets
   /// escape_[phase][cur*n + dst]
   std::vector<EscapeHop> escape_[2];
+  /// Backward state-graph BFS distances per destination,
+  /// escape_sdist_[dst * 2n + phase * n + v] (kInf-like sentinel for
+  /// unreachable states). Never read on the routing hot path — kept so an
+  /// incremental rebuild can decide, per destination, whether a graph edit
+  /// touches that column's escape paths at all.
+  std::vector<int> escape_sdist_;
 };
 
 }  // namespace hm::noc

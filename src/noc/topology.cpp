@@ -83,17 +83,43 @@ std::uint64_t TopologyContext::cache_hits() noexcept {
 TopologyContext::TopologyContext(const graph::Graph& g)
     : graph_(g), digest_(graph_digest(g)), tables_(g) {
   g_context_builds.fetch_add(1, std::memory_order_relaxed);
-  links_.reserve(2 * g.edge_count());
-  for (const auto& [a, b] : g.edges()) {
-    const std::uint8_t port_ab = port_of(g, a, b);
-    const std::uint8_t port_ba = port_of(g, b, a);
+  build_links();
+}
+
+TopologyContext::TopologyContext(const graph::Graph& g,
+                                 const TopologyContext& prev,
+                                 const GraphEdit& edit)
+    : graph_(g), digest_(graph_digest(g)), tables_(g, prev.tables_, edit) {
+  g_context_builds.fetch_add(1, std::memory_order_relaxed);
+  build_links();
+}
+
+void TopologyContext::build_links() {
+  links_.clear();
+  links_.reserve(2 * graph_.edge_count());
+  for (const auto& [a, b] : graph_.edges()) {
+    const std::uint8_t port_ab = port_of(graph_, a, b);
+    const std::uint8_t port_ba = port_of(graph_, b, a);
     links_.push_back(DirectedLink{a, b, port_ab, port_ba});
     links_.push_back(DirectedLink{b, a, port_ba, port_ab});
   }
 }
 
-std::shared_ptr<const TopologyContext> TopologyContext::acquire(
-    const graph::Graph& g) {
+namespace {
+
+/// Shared intern protocol of acquire() and rebuild_from(): return a live
+/// context for `g` if one exists, otherwise build one via `build` (outside
+/// the lock, so distinct graphs build in parallel across sweep/search
+/// workers) and register it. Two threads racing on the *same* graph may
+/// both build — harmless (contexts built either way are value-identical;
+/// the incremental-vs-full equivalence tests pin this for the delta path);
+/// the loser's copy is discarded and every later acquire sees one shared
+/// instance. Plain shared_ptr<>(new ...) rather than make_shared so the
+/// bulky object storage is freed as soon as the last strong reference
+/// drops, even while a weak cache slot lingers until the next prune.
+template <typename Build>
+std::shared_ptr<const TopologyContext> intern_or_build(const graph::Graph& g,
+                                                       Build&& build) {
   const std::uint64_t digest = graph_digest(g);
   ContextCache& c = cache();
 
@@ -121,15 +147,7 @@ std::shared_ptr<const TopologyContext> TopologyContext::acquire(
     }
   }
 
-  // Build outside the lock so distinct graphs build in parallel across
-  // sweep workers. Two threads racing on the *same* graph may both build —
-  // harmless (contexts are value-identical, same idiom as
-  // explore::ResultCache::get_or_compute); the loser's copy is discarded
-  // below and every later acquire sees one shared instance. Plain
-  // shared_ptr<>(new ...) rather than make_shared so the bulky object
-  // storage is freed as soon as the last strong reference drops, even
-  // while a weak cache slot lingers until the next prune.
-  std::shared_ptr<const TopologyContext> built(new TopologyContext(g));
+  std::shared_ptr<const TopologyContext> built(build());
   const std::lock_guard<std::mutex> lock(c.mu);
   if (auto ctx = lookup()) {
     g_cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -137,6 +155,27 @@ std::shared_ptr<const TopologyContext> TopologyContext::acquire(
   }
   c.map[digest].push_back(built);
   return built;
+}
+
+}  // namespace
+
+std::shared_ptr<const TopologyContext> TopologyContext::acquire(
+    const graph::Graph& g) {
+  return intern_or_build(g, [&g] { return new TopologyContext(g); });
+}
+
+std::shared_ptr<const TopologyContext> TopologyContext::rebuild_from(
+    const std::shared_ptr<const TopologyContext>& prev, const GraphEdit& edit) {
+  if (prev == nullptr) {
+    throw std::invalid_argument("TopologyContext::rebuild_from: null prev");
+  }
+  if (edit.empty()) return prev;
+  const graph::Graph g = apply_edit(prev->graph(), edit);
+  // Keyed by the same stable digest as acquire(): if a from-scratch build
+  // of the edited graph is already live, adopt it; if this delta build
+  // registers first, later acquire() calls adopt it instead.
+  return intern_or_build(
+      g, [&] { return new TopologyContext(g, *prev, edit); });
 }
 
 }  // namespace hm::noc

@@ -1,0 +1,234 @@
+#include "search/mutation.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/lattice_detail.hpp"
+#include "graph/algorithms.hpp"
+
+namespace hm::search {
+
+namespace {
+
+using core::Arrangement;
+using core::ArrangementType;
+using core::LatticeCoord;
+using graph::NodeId;
+
+using Site = std::pair<int, int>;
+
+Site site_of(LatticeCoord c) { return {c.a, c.b}; }
+
+/// Canonical (min, max) form of an undirected edge.
+std::pair<NodeId, NodeId> canon(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+std::map<Site, NodeId> occupancy(const Arrangement& arr) {
+  std::map<Site, NodeId> occ;
+  const auto& coords = arr.coords();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    occ[site_of(coords[i])] = static_cast<NodeId>(i);
+  }
+  return occ;
+}
+
+std::optional<Candidate> propose_relocate(const Arrangement& cur,
+                                          noc::Rng& rng) {
+  const std::size_t n = cur.chiplet_count();
+  if (n < 2) return std::nullopt;
+  const auto x = static_cast<NodeId>(rng.uniform_int(n));
+
+  // Target sites: the free frontier (unoccupied sites sharing a boundary
+  // with at least one chiplet), enumerated in deterministic sorted order.
+  const auto occ = occupancy(cur);
+  std::set<Site> frontier;
+  for (const LatticeCoord& c : cur.coords()) {
+    for (const LatticeCoord& nb : lattice_neighbors(cur.type(), c)) {
+      if (occ.find(site_of(nb)) == occ.end()) frontier.insert(site_of(nb));
+    }
+  }
+  if (frontier.empty()) return std::nullopt;
+  const std::vector<Site> targets(frontier.begin(), frontier.end());
+  const Site target = targets[rng.uniform_int(targets.size())];
+
+  noc::GraphEdit edit;
+  for (const NodeId w : cur.graph().neighbors(x)) {
+    edit.removed.push_back(canon(x, w));
+  }
+  const LatticeCoord target_coord{target.first, target.second};
+  for (const LatticeCoord& nb : lattice_neighbors(cur.type(), target_coord)) {
+    const auto it = occ.find(site_of(nb));
+    if (it != occ.end() && it->second != x) {
+      edit.added.push_back(canon(x, it->second));
+    }
+  }
+  if (edit.added.empty()) return std::nullopt;  // x would be stranded
+
+  graph::Graph g = noc::apply_edit(cur.graph(), edit);
+  if (!graph::is_connected(g)) return std::nullopt;
+  std::vector<LatticeCoord> coords = cur.coords();
+  coords[x] = target_coord;
+  return Candidate{
+      Arrangement(cur.type(), core::RegularityClass::kIrregular,
+                  std::move(coords), std::move(g)),
+      MutationKind::kRelocate, std::move(edit)};
+}
+
+std::optional<Candidate> propose_swap(const Arrangement& cur, noc::Rng& rng) {
+  const std::size_t n = cur.chiplet_count();
+  if (n < 2) return std::nullopt;
+  const auto i = static_cast<NodeId>(rng.uniform_int(n));
+  const auto j = static_cast<NodeId>(rng.uniform_int(n));
+  if (i == j) return std::nullopt;
+
+  // Relabel the two vertices through the transposition (i j): a chiplet
+  // takes over its partner's site *and* that site's current link set, so
+  // earlier edge toggles survive the swap.
+  const auto relabel = [&](NodeId v) { return v == i ? j : (v == j ? i : v); };
+  std::set<std::pair<NodeId, NodeId>> old_edges;
+  std::set<std::pair<NodeId, NodeId>> new_edges;
+  for (const NodeId v : {i, j}) {
+    for (const NodeId w : cur.graph().neighbors(v)) {
+      old_edges.insert(canon(v, w));
+      new_edges.insert(canon(relabel(v), relabel(w)));
+    }
+  }
+  noc::GraphEdit edit;
+  for (const auto& e : old_edges) {
+    if (new_edges.find(e) == new_edges.end()) edit.removed.push_back(e);
+  }
+  for (const auto& e : new_edges) {
+    if (old_edges.find(e) == old_edges.end()) edit.added.push_back(e);
+  }
+  if (edit.empty()) return std::nullopt;  // N(i) and N(j) coincide; no-op
+
+  graph::Graph g = noc::apply_edit(cur.graph(), edit);
+  std::vector<LatticeCoord> coords = cur.coords();
+  std::swap(coords[i], coords[j]);
+  return Candidate{
+      Arrangement(cur.type(), core::RegularityClass::kIrregular,
+                  std::move(coords), std::move(g)),
+      MutationKind::kSwap, std::move(edit)};
+}
+
+std::optional<Candidate> propose_add_edge(const Arrangement& cur,
+                                          noc::Rng& rng) {
+  // Legal absent edges: boundary-sharing occupied site pairs not yet
+  // linked. Enumerated deterministically via the sorted occupancy map.
+  const auto occ = occupancy(cur);
+  std::vector<std::pair<NodeId, NodeId>> absent;
+  for (const auto& [site, u] : occ) {
+    const LatticeCoord c{site.first, site.second};
+    for (const LatticeCoord& nb : lattice_neighbors(cur.type(), c)) {
+      const auto it = occ.find(site_of(nb));
+      if (it == occ.end()) continue;
+      const NodeId v = it->second;
+      if (u < v && !cur.graph().has_edge(u, v)) absent.push_back(canon(u, v));
+    }
+  }
+  std::sort(absent.begin(), absent.end());
+  absent.erase(std::unique(absent.begin(), absent.end()), absent.end());
+  if (absent.empty()) return std::nullopt;
+
+  noc::GraphEdit edit;
+  edit.added.push_back(absent[rng.uniform_int(absent.size())]);
+  graph::Graph g = noc::apply_edit(cur.graph(), edit);
+  return Candidate{
+      Arrangement(cur.type(), core::RegularityClass::kIrregular,
+                  cur.coords(), std::move(g)),
+      MutationKind::kAddEdge, std::move(edit)};
+}
+
+std::optional<Candidate> propose_remove_edge(const Arrangement& cur,
+                                             noc::Rng& rng) {
+  // Only non-bridge edges are removable (the routing layer requires a
+  // connected graph). One low-link pass finds every bridge, so the draw
+  // succeeds whenever any legal removal exists.
+  const auto edges = cur.graph().edges();          // sorted
+  const auto bridge_edges = graph::bridges(cur.graph());  // sorted
+  std::vector<std::pair<NodeId, NodeId>> removable;
+  removable.reserve(edges.size() - bridge_edges.size());
+  std::set_difference(edges.begin(), edges.end(), bridge_edges.begin(),
+                      bridge_edges.end(), std::back_inserter(removable));
+  if (removable.empty()) return std::nullopt;
+
+  noc::GraphEdit edit;
+  edit.removed.push_back(removable[rng.uniform_int(removable.size())]);
+  graph::Graph g = noc::apply_edit(cur.graph(), edit);
+  return Candidate{
+      Arrangement(cur.type(), core::RegularityClass::kIrregular,
+                  cur.coords(), std::move(g)),
+      MutationKind::kRemoveEdge, std::move(edit)};
+}
+
+}  // namespace
+
+std::string to_string(MutationKind k) {
+  switch (k) {
+    case MutationKind::kRelocate: return "relocate";
+    case MutationKind::kSwap: return "swap";
+    case MutationKind::kAddEdge: return "add_edge";
+    case MutationKind::kRemoveEdge: return "remove_edge";
+    case MutationKind::kNone: return "none";
+  }
+  return "?";
+}
+
+std::vector<core::LatticeCoord> lattice_neighbors(core::ArrangementType type,
+                                                  core::LatticeCoord c) {
+  switch (type) {
+    case ArrangementType::kGrid: return core::detail::grid_neighbors(c);
+    case ArrangementType::kBrickwall:
+    case ArrangementType::kHoneycomb:  // same lattice, hexagonal chiplets
+      return core::detail::brickwall_neighbors(c);
+    case ArrangementType::kHexaMesh: return core::detail::hex_neighbors(c);
+  }
+  return {};
+}
+
+bool sites_adjacent(core::ArrangementType type, core::LatticeCoord a,
+                    core::LatticeCoord b) {
+  for (const LatticeCoord& nb : lattice_neighbors(type, a)) {
+    if (nb == b) return true;
+  }
+  return false;
+}
+
+bool is_legal_arrangement(const core::Arrangement& arr) {
+  if (arr.graph().node_count() != arr.chiplet_count()) return false;
+  std::set<Site> sites;
+  for (const LatticeCoord& c : arr.coords()) {
+    if (!sites.insert(site_of(c)).second) return false;  // duplicate site
+  }
+  const auto& coords = arr.coords();
+  for (const auto& [u, v] : arr.graph().edges()) {
+    if (!sites_adjacent(arr.type(), coords[u], coords[v])) return false;
+  }
+  return graph::is_connected(arr.graph());
+}
+
+std::optional<Candidate> propose_mutation(const core::Arrangement& cur,
+                                          MutationKind kind, noc::Rng& rng) {
+  switch (kind) {
+    case MutationKind::kRelocate: return propose_relocate(cur, rng);
+    case MutationKind::kSwap: return propose_swap(cur, rng);
+    case MutationKind::kAddEdge: return propose_add_edge(cur, rng);
+    case MutationKind::kRemoveEdge: return propose_remove_edge(cur, rng);
+    case MutationKind::kNone: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Candidate> propose_mutation(const core::Arrangement& cur,
+                                          noc::Rng& rng) {
+  constexpr MutationKind kKinds[] = {
+      MutationKind::kRelocate, MutationKind::kSwap, MutationKind::kAddEdge,
+      MutationKind::kRemoveEdge};
+  return propose_mutation(cur, kKinds[rng.uniform_int(4)], rng);
+}
+
+}  // namespace hm::search

@@ -259,6 +259,36 @@ TEST(Arrangement, FactoriesRejectZero) {
   EXPECT_THROW((void)make_hexamesh(0), std::invalid_argument);
 }
 
+// Regression: degenerate sizes used to be rejected family by family with
+// different messages (honeycomb delegated to brickwall's), so callers like
+// arrangement_explorer surfaced inconsistent errors. make_arrangement now
+// validates once, uniformly, for every family.
+TEST(Arrangement, MakeArrangementRejectsZeroUniformlyAcrossFamilies) {
+  for (const auto type :
+       {ArrangementType::kGrid, ArrangementType::kBrickwall,
+        ArrangementType::kHexaMesh, ArrangementType::kHoneycomb}) {
+    try {
+      (void)make_arrangement(type, 0);
+      FAIL() << "make_arrangement(" << hm::core::to_string(type)
+             << ", 0) did not throw";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("make_arrangement"), std::string::npos) << what;
+      EXPECT_NE(what.find("chiplet count must be >= 1"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(hm::core::to_string(type)), std::string::npos)
+          << what;
+    }
+  }
+  // N == 1 stays valid for every family (a single chiplet is a legal,
+  // simulation-free design point).
+  for (const auto type :
+       {ArrangementType::kGrid, ArrangementType::kBrickwall,
+        ArrangementType::kHexaMesh, ArrangementType::kHoneycomb}) {
+    EXPECT_EQ(make_arrangement(type, 1).chiplet_count(), 1u);
+  }
+}
+
 TEST(Arrangement, PlacementRejectsBadDims) {
   const auto arr = make_grid(4);
   EXPECT_THROW((void)arr.placement(0.0, 1.0), std::invalid_argument);

@@ -266,6 +266,53 @@ TEST(DistanceHistogram, PathOfThree) {
   EXPECT_EQ(hist[2], 1u);
 }
 
+TEST(Bridges, PathCycleAndBarbell) {
+  // Every edge of a path is a bridge; no edge of a cycle is.
+  const auto path_bridges = hm::graph::bridges(path_graph(6));
+  EXPECT_EQ(path_bridges.size(), 5u);
+  EXPECT_TRUE(hm::graph::bridges(cycle_graph(6)).empty());
+
+  // Two triangles joined by one edge: exactly that edge is a bridge.
+  Graph barbell(6);
+  barbell.add_edge(0, 1);
+  barbell.add_edge(1, 2);
+  barbell.add_edge(0, 2);
+  barbell.add_edge(3, 4);
+  barbell.add_edge(4, 5);
+  barbell.add_edge(3, 5);
+  barbell.add_edge(2, 3);
+  const auto bb = hm::graph::bridges(barbell);
+  ASSERT_EQ(bb.size(), 1u);
+  EXPECT_EQ(bb[0], (std::pair<NodeId, NodeId>{2, 3}));
+
+  // Disconnected graphs are handled per component.
+  Graph two_paths(5);
+  two_paths.add_edge(0, 1);
+  two_paths.add_edge(3, 4);
+  EXPECT_EQ(hm::graph::bridges(two_paths).size(), 2u);
+  EXPECT_TRUE(hm::graph::bridges(Graph(3)).empty());
+}
+
+TEST(Bridges, AgreesWithPerEdgeConnectivityCheck) {
+  // Cross-check the low-link pass against the O(e * (v + e)) definition on
+  // an irregular mesh-with-appendages graph.
+  Graph g = cycle_graph(8);
+  g.add_edge(0, 4);   // chord
+  g.add_edge(2, 6);   // chord
+  NodeId tail = 8;    // dangling path 0-8-9
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, tail);
+  g.add_edge(tail, 9);
+  std::vector<std::pair<NodeId, NodeId>> expected;
+  for (const auto& e : g.edges()) {
+    Graph h = g;
+    h.remove_edge(e.first, e.second);
+    if (!hm::graph::is_connected(h)) expected.push_back(e);
+  }
+  EXPECT_EQ(hm::graph::bridges(g), expected);
+}
+
 TEST(DistanceHistogram, SumsToAllPairs) {
   Graph g = grid_graph(4, 4);
   const auto hist = hm::graph::distance_histogram(g);

@@ -8,6 +8,12 @@ fails (exit 1) when:
     by more than --max-regression (default 1.25, i.e. >25% slower), or
   * the 8-thread sweep speedup dropped below --min-speedup-t8 (default 2.0).
 
+search.* metrics (the arrangement-search subsystem: incremental-rebuild
+times, end-to-end search wall clock) are compared with the same threshold
+but WARN-ONLY: their baseline was measured on one host class and needs a
+few CI runs to settle before gating hard. Promote the prefix from
+WARN_PREFIXES to GUARDED_PREFIXES once the numbers are stable.
+
 The speedup check only applies when the measuring host can scale at all:
 it is skipped (with a note) when the fresh JSON's host.hardware_threads —
 or, absent that key, this machine's cpu count — is below
@@ -31,6 +37,15 @@ import sys
 
 GUARDED_PREFIXES = ("sim_cycle.",)
 GUARDED_KEYS = ("sweep21.wall_s.t1",)
+# Compared and reported, but never fail the gate (first-PR baselines).
+# Ratio-style search metrics where *lower* is the regression direction are
+# listed separately so the warning fires the right way around.
+WARN_PREFIXES = ("search.",)
+WARN_HIGHER_IS_BETTER = ("search.rebuild_speedup.", "search.best_over_baseline.",
+                         "search.e2e_evals_per_s.")
+# Workload counts, not timings: reported for the record, never compared
+# against a ratio threshold (a different proposal mix is not a slowdown).
+COUNT_KEYS = ("search.e2e_evaluations.", "search.incremental_rebuilds.")
 
 
 def load(path):
@@ -59,18 +74,31 @@ def main():
     failures = []
 
     for key in sorted(fresh):
-        if key not in GUARDED_KEYS and not key.startswith(GUARDED_PREFIXES):
+        guarded = key in GUARDED_KEYS or key.startswith(GUARDED_PREFIXES)
+        warn_only = key.startswith(WARN_PREFIXES)
+        if not guarded and not warn_only:
             continue
         if key not in baseline:
             print(f"  new metric (no baseline): {key} = {fresh[key]:.6g}")
             continue
+        if key.startswith(COUNT_KEYS):
+            print(f"  {key}: {baseline[key]:.6g} -> {fresh[key]:.6g} "
+                  f"(count; not compared)")
+            continue
         ratio = fresh[key] / baseline[key] if baseline[key] > 0 else 1.0
+        # For throughput/speedup-style metrics a *drop* is the regression.
+        if key.startswith(WARN_HIGHER_IS_BETTER):
+            regressed = ratio < 1.0 / args.max_regression
+        else:
+            regressed = ratio > args.max_regression
         status = "ok"
-        if ratio > args.max_regression:
+        if regressed and guarded:
             status = "REGRESSION"
             failures.append(
                 f"{key}: {baseline[key]:.6g} -> {fresh[key]:.6g} "
                 f"({ratio:.2f}x, limit {args.max_regression:.2f}x)")
+        elif regressed:
+            status = "WARN (not gated yet)"
         print(f"  {key}: {baseline[key]:.6g} -> {fresh[key]:.6g} "
               f"({ratio:.2f}x) {status}")
 
