@@ -19,6 +19,7 @@
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
 #include "search/search.hpp"
+#include "search/tempering.hpp"
 #include "perf_json.hpp"
 
 namespace {
@@ -136,6 +137,64 @@ void bench_search_e2e() {
       static_cast<double>(res.incremental_rebuilds);
 }
 
+/// Population-based counterpart of bench_search_e2e on the same N=37
+/// HexaMesh start: a short parallel-tempering run (3 replicas) with a
+/// comparable per-replica budget. The acceptance bar of the tempering PR
+/// is search.tempering.best_over_baseline.n37hm >= the single-chain
+/// search.best_over_baseline.n37hm recorded in the same run (printed
+/// below; the monotone-best invariant plus the bigger evaluated population
+/// make the tempering ratio the easier side of the comparison).
+void bench_tempering_e2e() {
+  hm::search::TemperingOptions opt;
+  opt.replicas = 3;
+  opt.steps = g_smoke ? 4 : 12;
+  opt.candidates_per_step = 2;
+  opt.exchange_interval = 3;
+  // Short-budget ladder: the cold replica near-greedy (~0.3% of the
+  // baseline score), the hot one at ~3% — at 12 steps a hotter ladder
+  // random-walks its whole budget away.
+  opt.initial_temperature = 0.03;
+  opt.ladder_ratio = 0.3;
+  opt.threads = 0;  // hardware concurrency
+  opt.params.throughput_warmup = 1000;
+  opt.params.throughput_measure = 1000;
+  const auto start = make_arrangement(ArrangementType::kHexaMesh, 37);
+
+  hm::search::TemperingEngine engine(opt);
+  const double t0 = now_seconds();
+  const auto res = engine.run(start);
+  const double wall = now_seconds() - t0;
+
+  const double ratio =
+      res.baseline_score > 0.0 ? res.best_score / res.baseline_score : 0.0;
+  const double exchange_rate =
+      res.exchange_attempts > 0
+          ? static_cast<double>(res.exchange_accepts) /
+                static_cast<double>(res.exchange_attempts)
+          : 0.0;
+  std::printf("%-40s %12.3f s\n", "search.tempering.e2e_wall_s.n37hm", wall);
+  std::printf("%-40s %12.1f evals\n", "search.tempering.evaluations.n37hm",
+              static_cast<double>(res.evaluations));
+  std::printf("%-40s %12.4f\n", "search.tempering.best_over_baseline.n37hm",
+              ratio);
+  std::printf("%-40s %12.4f\n", "search.tempering.exchange_accept_rate.n37hm",
+              exchange_rate);
+  const double single_chain = g_metrics["search.best_over_baseline.n37hm"];
+  std::printf("%-40s %12s (tempering %.4f vs single-chain %.4f)\n",
+              "tempering vs single-chain", ratio >= single_chain ? "OK"
+                                                                 : "BEHIND",
+              ratio, single_chain);
+  g_metrics["search.tempering.e2e_wall_s.n37hm"] = wall;
+  g_metrics["search.tempering.evaluations.n37hm"] =
+      static_cast<double>(res.evaluations);
+  g_metrics["search.tempering.e2e_evals_per_s.n37hm"] =
+      wall > 0.0 ? static_cast<double>(res.evaluations) / wall : 0.0;
+  g_metrics["search.tempering.best_over_baseline.n37hm"] = ratio;
+  g_metrics["search.tempering.exchange_accept_rate.n37hm"] = exchange_rate;
+  g_metrics["search.tempering.incremental_rebuilds.n37hm"] =
+      static_cast<double>(res.incremental_rebuilds);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +206,7 @@ int main(int argc, char** argv) {
   bench_incremental_rebuild(37);
   bench_incremental_rebuild(91);
   bench_search_e2e();
+  bench_tempering_e2e();
   hm::bench::update_perf_json(g_metrics);
   return 0;
 }

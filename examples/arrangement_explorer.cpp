@@ -9,6 +9,7 @@
 #include <cstring>
 #include <string>
 
+#include "cli_util.hpp"
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
 #include "core/shape.hpp"
@@ -44,19 +45,18 @@ void show(ArrangementType type, std::size_t n) {
 
 int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "all";
+  // PR 4's checked parser, now hoisted into examples/cli_util.hpp and
+  // shared by every example: rejects garbage, negatives (which strtoul
+  // would wrap into huge counts) and overflow up front; degenerate sizes
+  // like 0 fall through to make_arrangement, which reports one uniform
+  // error for every family.
   std::size_t n = 37;
   if (argc > 2) {
-    // Reject garbage and negative values (which strtoul would wrap into
-    // huge counts) up front; degenerate sizes like 0 fall through to
-    // make_arrangement, which reports one uniform error for every family.
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(argv[2], &end, 10);
-    if (end == argv[2] || *end != '\0' || std::strchr(argv[2], '-') ||
-        parsed > 100000) {
-      std::fprintf(stderr, "N must be a chiplet count in [1, 100000]\n");
+    if (!hm::cli::parse_size(argv[2], 0, hm::cli::kMaxChiplets, &n)) {
+      std::fprintf(stderr, "N must be a chiplet count in [0, %zu]\n",
+                   hm::cli::kMaxChiplets);
       return 1;
     }
-    n = static_cast<std::size_t>(parsed);
   }
 
   try {

@@ -5,45 +5,55 @@
 // deterministic per-job seeding (the output is identical at any thread
 // count) and optional CSV export of the raw records.
 //
+// With --search S, every HexaMesh start is first improved by a short
+// parallel-tempering run (S steps; search/tempering.hpp) and the searched
+// arrangements ride in the same sweep as extra labelled points
+// (SweepEngine::add_arrangement), so the CSV compares searched vs. stock
+// families under identical seeding.
+//
 //   ./design_sweep [N1 N2 ...]              (default: 16 25 37 64)
 //   ./design_sweep --threads K [N...]       sweep with K threads
 //   ./design_sweep --csv out.csv [N...]     export raw records as CSV
+//   ./design_sweep --search S [N...]        add tempering-searched points
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
 #include "explore/export.hpp"
 #include "explore/sweep.hpp"
+#include "search/tempering.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm::core;
   std::vector<std::size_t> sweep;
   unsigned threads = 0;  // hardware concurrency
+  std::size_t search_steps = 0;
   std::string csv_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 ||
-        std::strcmp(argv[i], "--csv") == 0) {
+        std::strcmp(argv[i], "--csv") == 0 ||
+        std::strcmp(argv[i], "--search") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", argv[i]);
         return 1;
       }
       if (std::strcmp(argv[i], "--threads") == 0) {
-        threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        threads = hm::cli::require_unsigned(argv[++i], "--threads", 0, 4096);
+      } else if (std::strcmp(argv[i], "--search") == 0) {
+        search_steps =
+            hm::cli::require_size(argv[++i], "--search steps", 1, 1000000);
       } else {
         csv_path = argv[++i];
       }
       continue;
     }
-    const auto n = std::strtoul(argv[i], nullptr, 10);
-    if (n < 2) {
-      std::fprintf(stderr, "chiplet counts must be >= 2\n");
-      return 1;
-    }
-    sweep.push_back(n);
+    sweep.push_back(hm::cli::require_size(argv[i], "chiplet count", 2,
+                                          hm::cli::kMaxChiplets));
   }
   if (sweep.empty()) sweep = {16, 25, 37, 64};
 
@@ -66,48 +76,92 @@ int main(int argc, char** argv) {
     std::fflush(stderr);
   };
   hm::explore::SweepEngine engine(opt);
-  const auto records = engine.run(spec);
 
-  std::printf("%4s | %-26s | %-26s | %s\n", "N", "grid (lat, thr)",
-              "hexamesh (lat, thr)", "recommendation");
-  for (int i = 0; i < 84; ++i) std::putchar('-');
-  std::putchar('\n');
-
-  const auto find = [&records](ArrangementType type, std::size_t n)
-      -> const hm::explore::SweepRecord& {
-    for (const auto& r : records) {
-      if (r.point.type == type && r.point.chiplet_count == n) return r;
+  try {
+    if (search_steps > 0) {
+      // Short tempering runs warm-start the sweep: the searched best of
+      // every HexaMesh start joins the sweep as a labelled extra point.
+      hm::search::TemperingOptions topt;
+      topt.replicas = 3;
+      topt.steps = search_steps;
+      topt.threads = threads;
+      topt.params = params;
+      topt.params.throughput_warmup = 2000;  // search-speed windows
+      topt.params.throughput_measure = 2000;
+      // One engine for every sweep size: runs share the worker pool and
+      // the sharded result cache (TemperingEngine::run is re-entrant).
+      hm::search::TemperingEngine searcher(topt);
+      for (const std::size_t n : sweep) {
+        const auto res =
+            searcher.run(make_arrangement(ArrangementType::kHexaMesh, n));
+        engine.add_arrangement(res.best,
+                               "hexamesh-searched-N" + std::to_string(n));
+        std::fprintf(stderr,
+                     "searched N=%zu: best/baseline = %.4f (%zu evals)\n", n,
+                     res.baseline_score > 0.0
+                         ? res.best_score / res.baseline_score
+                         : 0.0,
+                     res.evaluations);
+      }
     }
-    std::abort();  // every requested point has a record
-  };
 
-  for (std::size_t n : sweep) {
-    const auto& g = find(ArrangementType::kGrid, n).result;
-    const auto& h = find(ArrangementType::kHexaMesh, n).result;
-    const double lat_gain = 1.0 - h.zero_load_latency_cycles /
-                                      g.zero_load_latency_cycles;
-    const double thr_gain = h.saturation_throughput_bps /
-                                g.saturation_throughput_bps -
-                            1.0;
-    const bool hm_wins = lat_gain > 0.0 && thr_gain > 0.0;
-    std::printf("%4zu | %7.1f cyc, %7.2f Tb/s | %7.1f cyc, %7.2f Tb/s | "
-                "%s (lat %+.0f%%, thr %+.0f%%)\n",
-                n, g.zero_load_latency_cycles,
-                g.saturation_throughput_bps / 1e12,
-                h.zero_load_latency_cycles,
-                h.saturation_throughput_bps / 1e12,
-                hm_wins ? "HexaMesh" : "mixed", -100.0 * lat_gain,
-                100.0 * thr_gain);
-  }
+    const auto records = engine.run(spec);
 
-  if (!csv_path.empty()) {
-    try {
+    std::printf("%4s | %-26s | %-26s | %s\n", "N", "grid (lat, thr)",
+                "hexamesh (lat, thr)", "recommendation");
+    for (int i = 0; i < 84; ++i) std::putchar('-');
+    std::putchar('\n');
+
+    const auto find = [&records](ArrangementType type, std::size_t n)
+        -> const hm::explore::SweepRecord& {
+      for (const auto& r : records) {
+        if (r.point.type == type && r.point.chiplet_count == n &&
+            !r.point.custom) {
+          return r;
+        }
+      }
+      std::abort();  // every requested point has a record
+    };
+
+    for (std::size_t n : sweep) {
+      const auto& g = find(ArrangementType::kGrid, n).result;
+      const auto& h = find(ArrangementType::kHexaMesh, n).result;
+      const double lat_gain = 1.0 - h.zero_load_latency_cycles /
+                                        g.zero_load_latency_cycles;
+      const double thr_gain = h.saturation_throughput_bps /
+                                  g.saturation_throughput_bps -
+                              1.0;
+      const bool hm_wins = lat_gain > 0.0 && thr_gain > 0.0;
+      std::printf("%4zu | %7.1f cyc, %7.2f Tb/s | %7.1f cyc, %7.2f Tb/s | "
+                  "%s (lat %+.0f%%, thr %+.0f%%)\n",
+                  n, g.zero_load_latency_cycles,
+                  g.saturation_throughput_bps / 1e12,
+                  h.zero_load_latency_cycles,
+                  h.saturation_throughput_bps / 1e12,
+                  hm_wins ? "HexaMesh" : "mixed", -100.0 * lat_gain,
+                  100.0 * thr_gain);
+    }
+
+    if (search_steps > 0) {
+      std::printf("\nsearched points (tempering, %zu steps):\n",
+                  search_steps);
+      for (const auto& r : records) {
+        if (!r.point.custom) continue;
+        std::printf("%4zu | searched: %7.1f cyc, %7.2f Tb/s (%s)\n",
+                    r.point.chiplet_count,
+                    r.result.zero_load_latency_cycles,
+                    r.result.saturation_throughput_bps / 1e12,
+                    r.point.label.c_str());
+      }
+    }
+
+    if (!csv_path.empty()) {
       hm::explore::export_file(csv_path, records);
       std::printf("\nraw records exported: %s\n", csv_path.c_str());
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 1;
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli_util.hpp"
 #include "core/evaluator.hpp"
 #include "core/io_chiplets.hpp"
 #include "core/shape.hpp"
@@ -16,7 +17,9 @@
 int main(int argc, char** argv) {
   using namespace hm::core;
   const std::string which = argc > 1 ? argv[1] : "hexamesh";
-  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 19;
+  const std::size_t n =
+      argc > 2 ? hm::cli::require_size(argv[2], "N", 1, hm::cli::kMaxChiplets)
+               : 19;
 
   ArrangementType type;
   if (which == "grid") {
@@ -35,7 +38,8 @@ int main(int argc, char** argv) {
   const double ac = kDefaultTotalAreaMm2 / static_cast<double>(n);
   const ChipletShape shape = solve_shape(type, {ac, kDefaultPowerFraction});
   const double io_depth =
-      argc > 3 ? std::atof(argv[3]) : shape.height / 2.0;
+      argc > 3 ? hm::cli::require_double(argv[3], "io_depth_mm", 0.01, 1000.0)
+               : shape.height / 2.0;
 
   const IoFloorplan plan =
       place_io_chiplets(arr, shape.width, shape.height, io_depth);

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli_util.hpp"
 #include "core/arrangement.hpp"
 #include "core/link_model.hpp"
 #include "core/shape.hpp"
@@ -14,11 +15,15 @@
 
 int main(int argc, char** argv) {
   using namespace hm::core;
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const std::size_t n =
+      argc > 1 ? hm::cli::require_size(argv[1], "N", 1, hm::cli::kMaxChiplets)
+               : 64;
   const std::string tech = argc > 2 ? argv[2] : "c4";
-  const double pp = argc > 3 ? std::atof(argv[3]) : kDefaultPowerFraction;
-  if (n < 1 || pp < 0.0 || pp >= 1.0 ||
-      (tech != "c4" && tech != "microbump")) {
+  const double pp =
+      argc > 3 ? hm::cli::require_double(argv[3], "power fraction", 0.0,
+                                         0.999999)
+               : kDefaultPowerFraction;
+  if (tech != "c4" && tech != "microbump") {
     std::fprintf(stderr, "usage: %s [N>=1] [c4|microbump] [pp in [0,1))\n",
                  argv[0]);
     return 1;

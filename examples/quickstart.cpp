@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_util.hpp"
 #include "core/evaluator.hpp"
 #include "core/hexamesh.hpp"
 #include "core/link_model.hpp"
@@ -14,7 +15,9 @@
 
 int main(int argc, char** argv) {
   using namespace hm::core;
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 37;
+  const std::size_t n =
+      argc > 1 ? hm::cli::require_size(argv[1], "N", 1, hm::cli::kMaxChiplets)
+               : 37;
 
   // 1. Build the arrangement (regular when N = 1+3r(r+1), else irregular).
   const Arrangement arr = make_hexamesh(n);

@@ -1,13 +1,19 @@
-// Arrangement local search: start from a stock family arrangement and let
-// the mutation-based optimizer (relocate/swap chiplets, toggle D2D links)
-// hunt for a better one, scoring candidates with the paper's cycle-accurate
-// pipeline. Prints the baseline vs. the best state found and, optionally,
-// exports the deterministic step-by-step trace.
+// Arrangement search: start from a stock family arrangement and hunt for a
+// better one with the mutation-based optimizers, scoring candidates with
+// the paper's cycle-accurate pipeline. Two engines share the move set and
+// objective: the single-chain local search (hill climb / simulated
+// annealing) and the population-based parallel tempering of
+// search/tempering.hpp. Prints the baseline vs. the best state found and,
+// optionally, exports the deterministic step-by-step trace.
 //
 //   ./search_arrangement [grid|brickwall|hexamesh] [N] [steps]
 //       --anneal            simulated annealing instead of hill climbing
-//       --latency           minimize zero-load latency instead of
-//                           maximizing saturation throughput
+//       --tempering K       parallel tempering with K replicas
+//       --exchange I        tempering swap attempt every I steps (default 4)
+//       --objective O       throughput (default) | latency |
+//                           throughput-per-area (thr per mm^2 of D2D links)
+//       --area-weight W     scalarization knob of throughput-per-area
+//       --latency           shorthand for --objective latency
 //       --threads K         candidate-evaluation concurrency (default: hw)
 //       --seed S            search RNG base seed (default 42)
 //       --trace out.csv     export the search trace (.json for JSON)
@@ -17,17 +23,40 @@
 #include <cstring>
 #include <string>
 
+#include "cli_util.hpp"
 #include "core/arrangement.hpp"
 #include "noc/routing.hpp"
 #include "search/search.hpp"
+#include "search/tempering.hpp"
+
+namespace {
+
+void usage_and_exit(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [grid|brickwall|hexamesh] [N] [steps] [--anneal] "
+      "[--tempering K] [--exchange I] [--objective thr|latency|"
+      "thr-per-area] [--area-weight W] [--latency] [--threads K] "
+      "[--seed S] [--trace out.csv]\n",
+      argv0);
+  std::exit(1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hm;
 
   std::string family = "hexamesh";
   std::size_t n = 37;
-  hm::search::SearchOptions opt;
-  opt.steps = 32;
+  std::size_t steps = 32;
+  std::size_t tempering_replicas = 0;  // 0 = single-chain engine
+  std::size_t exchange_interval = 4;
+  bool exchange_set = false;
+  bool anneal = false;
+  hm::search::ObjectiveSpec objective;
+  unsigned threads = 0;
+  unsigned long long seed = 42;
   std::string trace_path;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -39,26 +68,65 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--anneal") == 0) {
-      opt.schedule = hm::search::Schedule::kAnneal;
+      anneal = true;
+    } else if (std::strcmp(argv[i], "--tempering") == 0) {
+      tempering_replicas = hm::cli::require_size(
+          need_value("--tempering"), "--tempering replica count", 1, 64);
+    } else if (std::strcmp(argv[i], "--exchange") == 0) {
+      exchange_interval = hm::cli::require_size(
+          need_value("--exchange"), "--exchange interval", 1, 1000000);
+      exchange_set = true;
+    } else if (std::strcmp(argv[i], "--objective") == 0) {
+      const std::string o = need_value("--objective");
+      if (o == "thr" || o == "throughput") {
+        objective.kind = hm::search::Objective::kSaturationThroughput;
+      } else if (o == "latency") {
+        objective.kind = hm::search::Objective::kZeroLoadLatency;
+      } else if (o == "thr-per-area" || o == "throughput-per-area") {
+        objective.kind = hm::search::Objective::kThroughputPerLinkArea;
+      } else {
+        usage_and_exit(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--area-weight") == 0) {
+      objective.area_weight = hm::cli::require_double(
+          need_value("--area-weight"), "--area-weight", 0.0, 16.0);
     } else if (std::strcmp(argv[i], "--latency") == 0) {
-      opt.objective = hm::search::Objective::kZeroLoadLatency;
+      objective.kind = hm::search::Objective::kZeroLoadLatency;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      opt.threads = static_cast<unsigned>(
-          std::strtoul(need_value("--threads"), nullptr, 10));
+      threads = hm::cli::require_unsigned(need_value("--threads"),
+                                          "--threads", 0, 4096);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      opt.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+      seed = hm::cli::require_u64(need_value("--seed"), "--seed");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = need_value("--trace");
     } else if (positional == 0) {
       family = argv[i];
       ++positional;
     } else if (positional == 1) {
-      n = std::strtoul(argv[i], nullptr, 10);
+      n = hm::cli::require_size(argv[i], "N", 1, hm::cli::kMaxChiplets);
+      ++positional;
+    } else if (positional == 2) {
+      steps = hm::cli::require_size(argv[i], "steps", 1, 1000000);
       ++positional;
     } else {
-      opt.steps = std::strtoul(argv[i], nullptr, 10);
-      ++positional;
+      usage_and_exit(argv[0]);
     }
+  }
+
+  // Reject silently-inert flag combinations instead of misleading the
+  // user about which schedule actually ran.
+  if (tempering_replicas > 0 && anneal) {
+    std::fprintf(stderr,
+                 "--anneal applies to the single-chain engine only; "
+                 "parallel tempering runs fixed-temperature replicas "
+                 "(drop one of --anneal / --tempering)\n");
+    return 1;
+  }
+  if (exchange_set && tempering_replicas == 0) {
+    std::fprintf(stderr,
+                 "--exchange requires --tempering (replica exchange has "
+                 "no effect on the single-chain engine)\n");
+    return 1;
   }
 
   core::ArrangementType type;
@@ -69,42 +137,94 @@ int main(int argc, char** argv) {
   } else if (family == "hexamesh") {
     type = core::ArrangementType::kHexaMesh;
   } else {
-    std::fprintf(stderr,
-                 "usage: %s [grid|brickwall|hexamesh] [N] [steps] [--anneal] "
-                 "[--latency] [--threads K] [--seed S] [--trace out.csv]\n",
-                 argv[0]);
-    return 1;
+    usage_and_exit(argv[0]);
+    return 1;  // unreachable
   }
 
   // Interactive-speed measurement windows (the defaults are paper-length).
-  opt.params.throughput_warmup = 2000;
-  opt.params.throughput_measure = 2000;
-  opt.params.latency_measure = 6000;
-  opt.on_progress = [](const hm::search::SearchProgress& p) {
-    std::fprintf(stderr, "\r[%zu/%zu] best %.4g", p.step, p.total,
-                 p.best_score);
-    if (p.step == p.total) std::fprintf(stderr, "\n");
-    std::fflush(stderr);
+  core::EvaluationParams params;
+  params.throughput_warmup = 2000;
+  params.throughput_measure = 2000;
+  params.latency_measure = 6000;
+
+  const bool thr =
+      objective.kind != hm::search::Objective::kZeroLoadLatency;
+  const auto value = [&](const core::EvaluationResult& r) {
+    return thr ? r.saturation_throughput_bps / 1e12
+               : r.zero_load_latency_cycles;
   };
+  const char* unit = thr ? "Tb/s" : "cycles";
 
   try {
     const core::Arrangement start = core::make_arrangement(type, n);
+
+    if (tempering_replicas > 0) {
+      hm::search::TemperingOptions opt;
+      opt.replicas = tempering_replicas;
+      opt.steps = steps;
+      opt.exchange_interval = exchange_interval;
+      opt.objective = objective;
+      opt.threads = threads;
+      opt.seed = seed;
+      opt.params = params;
+      opt.on_progress = [](const hm::search::TemperingProgress& p) {
+        std::fprintf(stderr, "\r[%zu/%zu] best %.4g", p.step, p.total,
+                     p.best_score);
+        if (p.step == p.total) std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+      };
+      hm::search::TemperingEngine engine(opt);
+      const auto res = engine.run(start);
+
+      std::printf("start:  %s — %.4g %s\n", start.name().c_str(),
+                  value(res.baseline_result), unit);
+      std::printf("best:   %s, %zu links — %.4g %s (%+.2f%% score)\n",
+                  res.best.name().c_str(), res.best.graph().edge_count(),
+                  value(res.best_result), unit,
+                  100.0 * (res.best_score - res.baseline_score) /
+                      std::abs(res.baseline_score));
+      std::printf("ladder:");
+      for (const double t : res.temperatures) std::printf(" %.3g", t);
+      std::printf(" (coldest -> hottest)\n");
+      std::printf(
+          "search: %zu steps x %zu replicas, %zu/%zu exchanges accepted, "
+          "%zu evaluations (%llu cache hits), %llu incremental rebuilds, "
+          "%.1f s\n",
+          steps, opt.replicas, res.exchange_accepts, res.exchange_attempts,
+          res.evaluations,
+          static_cast<unsigned long long>(res.cache_hits),
+          static_cast<unsigned long long>(res.incremental_rebuilds),
+          res.wall_seconds);
+      if (!trace_path.empty()) {
+        hm::search::export_trace_file(trace_path, res.trace);
+        std::printf("trace exported: %s\n", trace_path.c_str());
+      }
+      return 0;
+    }
+
+    hm::search::SearchOptions opt;
+    opt.schedule = anneal ? hm::search::Schedule::kAnneal
+                          : hm::search::Schedule::kHillClimb;
+    opt.objective = objective;
+    opt.steps = steps;
+    opt.threads = threads;
+    opt.seed = seed;
+    opt.params = params;
+    opt.on_progress = [](const hm::search::SearchProgress& p) {
+      std::fprintf(stderr, "\r[%zu/%zu] best %.4g", p.step, p.total,
+                   p.best_score);
+      if (p.step == p.total) std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+    };
     hm::search::SearchEngine engine(opt);
     const auto res = engine.run(start);
 
-    const bool thr =
-        opt.objective == hm::search::Objective::kSaturationThroughput;
-    const auto value = [&](const core::EvaluationResult& r) {
-      return thr ? r.saturation_throughput_bps / 1e12
-                 : r.zero_load_latency_cycles;
-    };
-    const char* unit = thr ? "Tb/s" : "cycles";
     std::size_t accepted = 0;
     for (const auto& s : res.trace) accepted += s.accepted ? 1 : 0;
 
     std::printf("start:  %s — %.4g %s\n", start.name().c_str(),
                 value(res.baseline_result), unit);
-    std::printf("best:   %s, %zu links — %.4g %s (%+.2f%%)\n",
+    std::printf("best:   %s, %zu links — %.4g %s (%+.2f%% score)\n",
                 res.best.name().c_str(), res.best.graph().edge_count(),
                 value(res.best_result), unit,
                 100.0 * (res.best_score - res.baseline_score) /

@@ -53,6 +53,7 @@ void fill_analytic(const Arrangement& arr, const EvaluationParams& params,
   }
 
   // Link model (Sec. VI-B): A_C = A_all / N.
+  r.link_count = arr.graph().edge_count();
   r.chiplet_area_mm2 = params.total_area_mm2 / static_cast<double>(n);
   r.link_area_mm2 = link_area_for(arr, r.chiplet_area_mm2, params);
   LinkModelParams lp;

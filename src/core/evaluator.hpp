@@ -71,6 +71,7 @@ struct EvaluationResult {
   std::size_t bisection_links = 0;
 
   // Link model (Sec. V).
+  std::size_t link_count = 0;  ///< D2D links in the arrangement graph
   double chiplet_area_mm2 = 0.0;
   double link_area_mm2 = 0.0;
   double per_link_bandwidth_bps = 0.0;

@@ -90,4 +90,15 @@ CostBreakdown chiplet_cost(const SystemParams& s, const ProcessParams& p) {
   return c;
 }
 
+double d2d_link_area_mm2(double per_link_sector_area_mm2,
+                         std::size_t link_count) {
+  if (!(per_link_sector_area_mm2 >= 0.0) ||
+      !std::isfinite(per_link_sector_area_mm2)) {
+    throw std::invalid_argument(
+        "d2d_link_area_mm2: per-link sector area must be finite and >= 0");
+  }
+  // One sector on each endpoint chiplet per link.
+  return 2.0 * per_link_sector_area_mm2 * static_cast<double>(link_count);
+}
+
 }  // namespace hm::cost

@@ -71,4 +71,15 @@ struct CostBreakdown {
 [[nodiscard]] CostBreakdown chiplet_cost(const SystemParams& s,
                                          const ProcessParams& p);
 
+/// Total silicon area committed to D2D PHY across the package: every link
+/// occupies one bump sector of `per_link_sector_area_mm2` on *each* of its
+/// two endpoint chiplets (Sec. IV-B/Fig. 5). This is the area denominator
+/// of the multi-objective search score (throughput per mm² of D2D links) —
+/// the same PHY overhead SystemParams::phy_area_fraction charges per
+/// chiplet, but derived from the actual link count of an arrangement
+/// instead of a flat fraction. Throws std::invalid_argument when the
+/// per-link area is negative or non-finite.
+[[nodiscard]] double d2d_link_area_mm2(double per_link_sector_area_mm2,
+                                       std::size_t link_count);
+
 }  // namespace hm::cost

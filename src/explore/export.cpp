@@ -52,6 +52,12 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Exported arrangement name: the family for cartesian points, the
+/// registered label for warm-start points (SweepEngine::add_arrangement).
+std::string arrangement_name(const SweepPoint& p) {
+  return p.custom ? p.label : core::to_string(p.type);
+}
+
 }  // namespace
 
 void write_csv(std::ostream& os, const std::vector<SweepRecord>& records) {
@@ -63,7 +69,7 @@ void write_csv(std::ostream& os, const std::vector<SweepRecord>& records) {
   for (const auto& rec : records) {
     const auto& p = rec.point;
     const auto& r = rec.result;
-    os << p.index << ',' << core::to_string(p.type) << ','
+    os << p.index << ',' << csv_escape(arrangement_name(p)) << ','
        << core::to_string(r.regularity) << ',' << p.chiplet_count << ','
        << p.param_index << ',' << csv_escape(p.traffic.describe()) << ','
        << p.params.sim.seed << ',' << r.diameter << ','
@@ -91,7 +97,7 @@ void write_json(std::ostream& os, const std::vector<SweepRecord>& records) {
     const auto& p = rec.point;
     const auto& r = rec.result;
     os << "  {\"index\": " << p.index
-       << ", \"arrangement\": \"" << json_escape(core::to_string(p.type))
+       << ", \"arrangement\": \"" << json_escape(arrangement_name(p))
        << "\", \"regularity\": \"" << json_escape(core::to_string(r.regularity))
        << "\", \"chiplets\": " << p.chiplet_count
        << ", \"param_set\": " << p.param_index

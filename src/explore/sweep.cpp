@@ -58,13 +58,26 @@ SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
 SweepEngine::SweepEngine(Options options)
     : options_(std::move(options)), pool_(options_.threads) {}
 
+void SweepEngine::add_arrangement(core::Arrangement arrangement,
+                                  std::string label) {
+  if (arrangement.chiplet_count() == 0) {
+    throw std::invalid_argument(
+        "SweepEngine::add_arrangement: arrangement has no chiplets");
+  }
+  if (label.empty()) label = arrangement.name();
+  extra_.push_back(
+      {std::make_shared<const core::Arrangement>(std::move(arrangement)),
+       std::move(label)});
+}
+
 SweepRecord SweepEngine::evaluate_point(const SweepPoint& point) {
   SweepRecord rec;
   rec.point = point;
   const auto start = std::chrono::steady_clock::now();
   try {
     const core::Arrangement arr =
-        core::make_arrangement(point.type, point.chiplet_count);
+        point.custom ? *point.custom
+                     : core::make_arrangement(point.type, point.chiplet_count);
     // Intra-design probes go through a per-job bounded adapter so one job
     // cannot flood the shared pool with speculative probes (policy in
     // Options::intra_design_parallelism / max_intra_probes).
@@ -126,7 +139,32 @@ std::vector<SweepRecord> SweepEngine::run(const SweepSpec& spec) {
       p.measure_saturation = false;
     }
   }
-  const std::vector<SweepPoint> points = resolved.points();
+  std::vector<SweepPoint> points = resolved.points();
+
+  // Warm-start points ride after the cartesian product, crossed with the
+  // same param/traffic grids and the continued per-job seed sequence —
+  // indistinguishable from family points to the pool, the cache and the
+  // exports (except for their label).
+  for (std::size_t e = 0; e < extra_.size(); ++e) {
+    for (std::size_t pi = 0; pi < resolved.param_grid.size(); ++pi) {
+      for (std::size_t ti = 0; ti < resolved.traffic_grid.size(); ++ti) {
+        SweepPoint p;
+        p.index = points.size();
+        p.type = extra_[e].arrangement->type();
+        p.chiplet_count = extra_[e].arrangement->chiplet_count();
+        p.param_index = pi;
+        p.traffic_index = ti;
+        p.params = resolved.param_grid[pi];
+        p.traffic = resolved.traffic_grid[ti];
+        if (resolved.derive_per_job_seeds) {
+          p.params.sim.seed = noc::derive_seed(resolved.base_seed, p.index);
+        }
+        p.custom = extra_[e].arrangement;
+        p.label = extra_[e].label;
+        points.push_back(std::move(p));
+      }
+    }
+  }
 
   std::vector<SweepRecord> records(points.size());
   std::size_t completed = 0;  // guarded by progress_mu_

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,15 @@ struct SweepPoint {
   std::size_t traffic_index = 0;  ///< position in SweepSpec::traffic_grid
   core::EvaluationParams params;  ///< sim.seed already derived per job
   noc::TrafficSpec traffic;
+
+  /// Warm-start point: when set, this exact arrangement is evaluated
+  /// instead of make_arrangement(type, chiplet_count) — the mechanism that
+  /// lets searched arrangements (SweepEngine::add_arrangement,
+  /// search::search_then_sweep) ride in the same sweep as the stock
+  /// families. `type`/`chiplet_count` mirror the custom arrangement;
+  /// `label` replaces the family name in the CSV/JSON exports.
+  std::shared_ptr<const core::Arrangement> custom;
+  std::string label;
 };
 
 /// The sweep description. Empty grids default to a single entry.
@@ -132,9 +142,25 @@ class SweepEngine {
   SweepEngine();
   explicit SweepEngine(Options options);
 
-  /// Runs every point of the sweep; records are returned in point order
-  /// regardless of completion order. Re-entrant per engine: call run()
-  /// repeatedly to reuse the cache across related sweeps.
+  /// Registers an explicit arrangement (e.g. the best state of a
+  /// search/tempering run) as an extra sweep point. Every subsequent run()
+  /// appends one point per (registered arrangement x param_grid x
+  /// traffic_grid entry) after the cartesian family points, with per-job
+  /// seeds derived from the continued index sequence — so warm-started
+  /// sweeps stay deterministic at any thread count and searched points
+  /// share the cache with everything else. `label` replaces the family
+  /// name in exports (empty = the arrangement's name()). Registered
+  /// arrangements persist across run() calls; clear_arrangements() resets.
+  void add_arrangement(core::Arrangement arrangement, std::string label = "");
+  void clear_arrangements() noexcept { extra_.clear(); }
+  [[nodiscard]] std::size_t arrangement_count() const noexcept {
+    return extra_.size();
+  }
+
+  /// Runs every point of the sweep (the spec's cartesian product plus any
+  /// arrangements registered via add_arrangement); records are returned in
+  /// point order regardless of completion order. Re-entrant per engine:
+  /// call run() repeatedly to reuse the cache across related sweeps.
   [[nodiscard]] std::vector<SweepRecord> run(const SweepSpec& spec);
 
   [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
@@ -144,11 +170,17 @@ class SweepEngine {
   }
 
  private:
+  struct ExtraArrangement {
+    std::shared_ptr<const core::Arrangement> arrangement;
+    std::string label;
+  };
+
   SweepRecord evaluate_point(const SweepPoint& point);
 
   Options options_;
   ThreadPool pool_;
   ResultCache cache_;
+  std::vector<ExtraArrangement> extra_;
   std::mutex progress_mu_;
 };
 

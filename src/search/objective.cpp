@@ -1,0 +1,59 @@
+#include "search/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cost/cost_model.hpp"
+
+namespace hm::search {
+
+std::string to_string(Objective o) {
+  switch (o) {
+    case Objective::kSaturationThroughput: return "throughput";
+    case Objective::kZeroLoadLatency: return "latency";
+    case Objective::kThroughputPerLinkArea:
+      return "throughput_per_link_area";
+  }
+  return "unknown";
+}
+
+void ObjectiveSpec::validate() const {
+  if (!std::isfinite(area_weight) || area_weight < 0.0) {
+    throw std::invalid_argument(
+        "ObjectiveSpec: area_weight must be finite and >= 0");
+  }
+}
+
+double score(const ObjectiveSpec& spec, const core::EvaluationResult& r) {
+  if (spec.custom) return spec.custom(r);
+  switch (spec.kind) {
+    case Objective::kSaturationThroughput:
+      return r.saturation_throughput_bps;
+    case Objective::kZeroLoadLatency:
+      return -r.zero_load_latency_cycles;
+    case Objective::kThroughputPerLinkArea: {
+      // Degenerate designs (no links / zero sector area) get a tiny
+      // denominator floor instead of an infinite score, so a malformed
+      // candidate can never hijack the search.
+      const double area =
+          cost::d2d_link_area_mm2(r.link_area_mm2, r.link_count);
+      return r.saturation_throughput_bps /
+             std::pow(std::max(area, 1e-9), spec.area_weight);
+    }
+  }
+  return 0.0;
+}
+
+void apply_measurement_selection(const ObjectiveSpec& spec,
+                                 core::EvaluationParams& params) {
+  if (spec.custom) {
+    params.measure_latency = true;
+    params.measure_saturation = true;
+    return;
+  }
+  params.measure_latency = spec.kind == Objective::kZeroLoadLatency;
+  params.measure_saturation = spec.kind != Objective::kZeroLoadLatency;
+}
+
+}  // namespace hm::search

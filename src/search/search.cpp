@@ -1,10 +1,8 @@
 #include "search/search.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <chrono>
 #include <cmath>
-#include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -12,20 +10,11 @@
 #include "explore/hash.hpp"
 #include "noc/rng.hpp"
 #include "noc/topology.hpp"
+#include "search/trace_io.hpp"
 
 namespace hm::search {
 
-namespace {
-
-/// Shortest round-trip decimal form of a double (exact, locale-free) —
-/// the same formatting contract as the sweep exports.
-std::string fmt(double v) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, ptr);
-}
-
-}  // namespace
+using detail::fmt;
 
 SearchEngine::SearchEngine() : SearchEngine(SearchOptions{}) {}
 
@@ -33,11 +22,7 @@ SearchEngine::SearchEngine(SearchOptions options)
     : options_(std::move(options)), pool_(options_.threads) {}
 
 double SearchEngine::score_of(const core::EvaluationResult& r) const {
-  switch (options_.objective) {
-    case Objective::kSaturationThroughput: return r.saturation_throughput_bps;
-    case Objective::kZeroLoadLatency: return -r.zero_load_latency_cycles;
-  }
-  return 0.0;
+  return score(options_.objective, r);
 }
 
 SearchResult SearchEngine::run(const core::Arrangement& start) {
@@ -56,12 +41,14 @@ SearchResult SearchEngine::run(const core::Arrangement& start) {
   if (!(options_.cooling > 0.0) || options_.cooling > 1.0) {
     throw std::invalid_argument("SearchEngine: cooling must be in (0, 1]");
   }
+  if (!(options_.min_temperature > 0.0)) {
+    throw std::invalid_argument("SearchEngine: min_temperature must be > 0");
+  }
+  options_.objective.validate();
 
   // Only the half of the pipeline the objective scores is simulated.
   core::EvaluationParams params = options_.params;
-  params.measure_latency = options_.objective == Objective::kZeroLoadLatency;
-  params.measure_saturation =
-      options_.objective == Objective::kSaturationThroughput;
+  apply_measurement_selection(options_.objective, params);
 
   const std::uint64_t param_key = explore::hash_combine(
       explore::hash_combine(explore::hash_analytic_params(params),
@@ -100,9 +87,11 @@ SearchResult SearchEngine::run(const core::Arrangement& start) {
 
   // Temperature in absolute score units, scaled off the baseline magnitude
   // so the initial_temperature knob transfers across designs/objectives.
+  // A zero/near-zero baseline would scale the temperature to ~0 and
+  // silently turn annealing into hill climbing; min_temperature floors the
+  // effective per-step temperature instead (visible in the trace).
   const double temp_scale =
-      std::max(std::abs(result.baseline_score), 1e-30) *
-      options_.initial_temperature;
+      std::abs(result.baseline_score) * options_.initial_temperature;
 
   for (std::size_t step = 0; step < options_.steps; ++step) {
     // All nondeterminism of a step flows from this seed, on this thread.
@@ -122,10 +111,12 @@ SearchResult SearchEngine::run(const core::Arrangement& start) {
     SearchStep rec;
     rec.step = step;
     rec.candidates = cands.size();
-    rec.temperature = options_.schedule == Schedule::kAnneal
-                          ? temp_scale * std::pow(options_.cooling,
-                                                  static_cast<double>(step))
-                          : 0.0;
+    if (options_.schedule == Schedule::kAnneal) {
+      const double cooled =
+          temp_scale * std::pow(options_.cooling, static_cast<double>(step));
+      rec.temperature = std::max(cooled, options_.min_temperature);
+      rec.temperature_floored = cooled < options_.min_temperature;
+    }
 
     if (!cands.empty()) {
       // Evaluate the batch in parallel. Each job delta-builds (or adopts
@@ -205,13 +196,15 @@ SearchResult SearchEngine::run(const core::Arrangement& start) {
 
 void write_trace_csv(std::ostream& os, const std::vector<SearchStep>& trace) {
   os << "step,mutation,candidates,accepted,improved_best,candidate_score,"
-        "current_score,best_score,temperature,graph_digest,edge_count\n";
+        "current_score,best_score,temperature,temperature_floored,"
+        "graph_digest,edge_count\n";
   for (const auto& s : trace) {
     os << s.step << ',' << to_string(s.kind) << ',' << s.candidates << ','
        << (s.accepted ? 1 : 0) << ',' << (s.improved_best ? 1 : 0) << ','
        << fmt(s.candidate_score) << ',' << fmt(s.current_score) << ','
        << fmt(s.best_score) << ',' << fmt(s.temperature) << ','
-       << s.graph_digest << ',' << s.edge_count << '\n';
+       << (s.temperature_floored ? 1 : 0) << ',' << s.graph_digest << ','
+       << s.edge_count << '\n';
   }
 }
 
@@ -233,6 +226,8 @@ void write_trace_json(std::ostream& os, const std::vector<SearchStep>& trace) {
        << ", \"current_score\": " << fmt(s.current_score)
        << ", \"best_score\": " << fmt(s.best_score)
        << ", \"temperature\": " << fmt(s.temperature)
+       << ", \"temperature_floored\": "
+       << (s.temperature_floored ? "true" : "false")
        << ", \"graph_digest\": " << s.graph_digest
        << ", \"edge_count\": " << s.edge_count << "}"
        << (i + 1 < trace.size() ? ",\n" : "\n");
@@ -248,15 +243,7 @@ std::string trace_to_json(const std::vector<SearchStep>& trace) {
 
 void export_trace_file(const std::string& path,
                        const std::vector<SearchStep>& trace) {
-  std::ofstream os(path);
-  if (!os) {
-    throw std::runtime_error("export_trace_file: cannot open " + path);
-  }
-  if (path.size() >= 5 && path.substr(path.size() - 5) == ".json") {
-    write_trace_json(os, trace);
-  } else {
-    write_trace_csv(os, trace);
-  }
+  detail::export_trace(path, trace, &write_trace_csv, &write_trace_json);
 }
 
 }  // namespace hm::search

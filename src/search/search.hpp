@@ -37,14 +37,9 @@
 #include "explore/thread_pool.hpp"
 #include "noc/traffic.hpp"
 #include "search/mutation.hpp"
+#include "search/objective.hpp"
 
 namespace hm::search {
-
-/// What the search maximizes.
-enum class Objective {
-  kSaturationThroughput,  ///< saturation_throughput_bps (Fig. 7b axis)
-  kZeroLoadLatency,       ///< negated zero_load_latency_cycles (Fig. 7a axis)
-};
 
 /// Acceptance schedules.
 enum class Schedule {
@@ -56,7 +51,8 @@ struct SearchProgress;
 
 struct SearchOptions {
   Schedule schedule = Schedule::kHillClimb;
-  Objective objective = Objective::kSaturationThroughput;
+  ObjectiveSpec objective;  ///< see search/objective.hpp; defaults to
+                            ///< saturation throughput
 
   /// Mutation steps; each step proposes and evaluates a batch of
   /// candidates and accepts at most one.
@@ -74,6 +70,15 @@ struct SearchOptions {
   /// (so the knob is design-independent), and its per-step decay.
   double initial_temperature = 0.02;
   double cooling = 0.92;
+
+  /// Absolute floor on the per-step annealing temperature, in score units.
+  /// The relative scaling above degenerates silently when the baseline
+  /// score is zero or near zero (temperature ~ 0 turns kAnneal into hill
+  /// climbing); the floor keeps Metropolis acceptance alive regardless of
+  /// the baseline magnitude. Must be > 0. The effective (post-floor)
+  /// temperature is recorded per step in SearchStep::temperature, with
+  /// SearchStep::temperature_floored flagging steps where the floor bound.
+  double min_temperature = 1e-9;
 
   /// Worker concurrency for candidate evaluation (see explore::ThreadPool);
   /// 0 = hardware threads.
@@ -105,7 +110,10 @@ struct SearchStep {
   double candidate_score = 0.0; ///< best candidate of the step (0 if none)
   double current_score = 0.0;   ///< post-step current state
   double best_score = 0.0;      ///< post-step best-so-far (monotone)
-  double temperature = 0.0;     ///< annealing temperature (0 = hill climb)
+  double temperature = 0.0;     ///< effective annealing temperature after
+                                ///< the min_temperature floor (0 = hill
+                                ///< climb)
+  bool temperature_floored = false;  ///< floor bound this step's temperature
   std::uint64_t graph_digest = 0;  ///< post-step current graph digest
   std::size_t edge_count = 0;      ///< post-step current link count
 };

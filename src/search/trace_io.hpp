@@ -1,0 +1,42 @@
+// Shared trace-serialization plumbing for the search engines' CSV/JSON
+// exporters (search/search.cpp, search/tempering.cpp): the
+// shortest-round-trip double formatter that makes traces byte-comparable
+// across thread counts, and the open-or-throw / ".json"-suffix dispatch of
+// the export_trace_file entry points. Internal to src/search.
+#pragma once
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace hm::search::detail {
+
+/// Shortest round-trip decimal form of a double (exact, locale-free) —
+/// the same formatting contract as the sweep exports.
+inline std::string fmt(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, ptr);
+}
+
+/// Writes `trace` to `path` via the matching writer: ".json" gets
+/// `json_writer`, everything else `csv_writer`. Throws std::runtime_error
+/// when the file cannot be opened.
+template <typename Trace>
+void export_trace(const std::string& path, const Trace& trace,
+                  void (*csv_writer)(std::ostream&, const Trace&),
+                  void (*json_writer)(std::ostream&, const Trace&)) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("export_trace_file: cannot open " + path);
+  }
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".json") {
+    json_writer(os, trace);
+  } else {
+    csv_writer(os, trace);
+  }
+}
+
+}  // namespace hm::search::detail

@@ -1,0 +1,20 @@
+#include "search/warm_start.hpp"
+
+#include <utility>
+
+namespace hm::search {
+
+WarmStartedSweep search_then_sweep(const core::Arrangement& start,
+                                   const TemperingOptions& topt,
+                                   explore::SweepEngine& engine,
+                                   const explore::SweepSpec& spec,
+                                   std::string label) {
+  TemperingEngine tempering(topt);
+  WarmStartedSweep out{tempering.run(start), {}};
+  if (label.empty()) label = "searched:" + start.name();
+  engine.add_arrangement(out.tempering.best, std::move(label));
+  out.records = engine.run(spec);
+  return out;
+}
+
+}  // namespace hm::search

@@ -1,0 +1,36 @@
+// Warm-started sweeps: run a parallel-tempering search, feed its best
+// arrangement into a SweepEngine as an extra sweep point, and run the
+// sweep — so one CSV/JSON export compares searched arrangements against
+// the stock families under identical per-job seeding. This is the glue the
+// ROADMAP's "warm-starting sweeps from searched arrangements" item asks
+// for; examples/design_sweep --search drives it end to end.
+#pragma once
+
+#include <string>
+
+#include "core/arrangement.hpp"
+#include "explore/sweep.hpp"
+#include "search/tempering.hpp"
+
+namespace hm::search {
+
+/// Everything a warm-started sweep produces: the tempering run itself and
+/// the combined sweep records (stock families first, searched points
+/// after, in registration order).
+struct WarmStartedSweep {
+  TemperingResult tempering;
+  std::vector<explore::SweepRecord> records;
+};
+
+/// Runs parallel tempering from `start` under `topt`, registers the best
+/// arrangement with `engine` (labelled `label`; empty derives
+/// "searched:<name>" from the start arrangement), then runs `spec` through
+/// the engine. The searched point inherits the sweep's param/traffic grids
+/// and deterministic seeding, so records stay byte-identical at any thread
+/// count. Reuses the engine's cache across repeated calls.
+[[nodiscard]] WarmStartedSweep search_then_sweep(
+    const core::Arrangement& start, const TemperingOptions& topt,
+    explore::SweepEngine& engine, const explore::SweepSpec& spec,
+    std::string label = "");
+
+}  // namespace hm::search

@@ -6,12 +6,15 @@
 // traces, and the annealing monotonic-best invariant.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/arrangement.hpp"
+#include "cost/cost_model.hpp"
 #include "graph/algorithms.hpp"
 #include "noc/rng.hpp"
 #include "noc/routing.hpp"
@@ -356,6 +359,107 @@ TEST(SearchEngine, AnnealMonotonicBestInvariant) {
   EXPECT_TRUE(hm::search::is_legal_arrangement(res.best));
   // The reported best is reproducible: re-scoring it yields its score.
   EXPECT_EQ(res.best_result.saturation_throughput_bps, res.best_score);
+}
+
+TEST(SearchEngine, ZeroBaselineAnnealKeepsMetropolisAlive) {
+  // Regression: the annealing temperature is scaled by |baseline_score|,
+  // so a zero baseline used to collapse the temperature to ~0 and silently
+  // degenerate kAnneal into hill climbing (strictly-worse candidates were
+  // never accepted). The absolute min_temperature floor keeps acceptance
+  // alive; the trace records the effective (floored) temperature.
+  auto opt = fast_options();
+  opt.schedule = hm::search::Schedule::kAnneal;
+  opt.steps = 10;
+  opt.candidates_per_step = 1;  // no best-of-batch bias toward ties
+  opt.seed = 3;
+  opt.min_temperature = 0.75;
+  // Score = link deficit vs. the stock arrangement: baseline is exactly 0,
+  // removing a link scores -1 (strictly worse), re-adding scores back up.
+  const auto start = make_arrangement(ArrangementType::kHexaMesh, 13);
+  const double start_links =
+      static_cast<double>(start.graph().edge_count());
+  opt.objective.custom = [start_links](const hm::core::EvaluationResult& r) {
+    return static_cast<double>(r.link_count) - start_links;
+  };
+  hm::search::SearchEngine engine(opt);
+  const auto res = engine.run(start);
+
+  EXPECT_EQ(res.baseline_score, 0.0);
+  double min_current = 0.0;
+  for (const auto& s : res.trace) {
+    // The floor is the effective temperature (0 * cooling^step < floor)
+    // and the trace makes that visible.
+    EXPECT_DOUBLE_EQ(s.temperature, opt.min_temperature);
+    EXPECT_TRUE(s.temperature_floored);
+    min_current = std::min(min_current, s.current_score);
+  }
+  // Metropolis accepted a strictly-worse candidate (exp(-1/0.75) ~ 0.26
+  // per downhill proposal; deterministic for the fixed seed) — the exact
+  // behavior the pre-floor code could never exhibit at zero baseline.
+  EXPECT_LT(min_current, 0.0);
+  EXPECT_GE(res.best_score, res.baseline_score);
+}
+
+// --- Multi-objective scoring ----------------------------------------------------
+
+TEST(Objective, ThroughputPerLinkAreaIsMonotoneInLinkCount) {
+  hm::core::EvaluationResult r;
+  r.saturation_throughput_bps = 2.5e13;
+  r.link_area_mm2 = 3.0;
+
+  hm::search::ObjectiveSpec spec(
+      hm::search::Objective::kThroughputPerLinkArea);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t links = 1; links <= 64; ++links) {
+    r.link_count = links;
+    const double s = hm::search::score(spec, r);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, prev) << "score must strictly decrease with link count";
+    prev = s;
+  }
+
+  // Full normalization divides by cost::d2d_link_area_mm2 (two bump
+  // sectors per link).
+  r.link_count = 10;
+  EXPECT_DOUBLE_EQ(hm::search::score(spec, r),
+                   r.saturation_throughput_bps /
+                       hm::cost::d2d_link_area_mm2(r.link_area_mm2, 10));
+
+  // area_weight is a scalarization knob: 0 collapses to pure throughput,
+  // intermediate weights interpolate the penalty.
+  spec.area_weight = 0.0;
+  EXPECT_DOUBLE_EQ(hm::search::score(spec, r),
+                   r.saturation_throughput_bps);
+  spec.area_weight = 0.5;
+  const double half = hm::search::score(spec, r);
+  spec.area_weight = 1.0;
+  EXPECT_GT(half, hm::search::score(spec, r));
+  EXPECT_LT(half, r.saturation_throughput_bps);
+}
+
+TEST(Objective, CustomScoreOverridesKindAndSelectsBothMeasurements) {
+  hm::core::EvaluationResult r;
+  r.saturation_throughput_bps = 5.0;
+  hm::search::ObjectiveSpec spec(hm::search::Objective::kZeroLoadLatency);
+  spec.custom = [](const hm::core::EvaluationResult&) { return 7.5; };
+  EXPECT_DOUBLE_EQ(hm::search::score(spec, r), 7.5);
+
+  hm::core::EvaluationParams params;
+  hm::search::apply_measurement_selection(spec, params);
+  EXPECT_TRUE(params.measure_latency);
+  EXPECT_TRUE(params.measure_saturation);
+
+  spec.custom = nullptr;
+  hm::search::apply_measurement_selection(spec, params);
+  EXPECT_TRUE(params.measure_latency);
+  EXPECT_FALSE(params.measure_saturation);
+  spec.kind = hm::search::Objective::kThroughputPerLinkArea;
+  hm::search::apply_measurement_selection(spec, params);
+  EXPECT_FALSE(params.measure_latency);
+  EXPECT_TRUE(params.measure_saturation);
+
+  spec.area_weight = -0.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 
 TEST(SearchEngine, ProgressAndTraceExports) {

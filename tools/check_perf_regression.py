@@ -42,10 +42,15 @@ GUARDED_KEYS = ("sweep21.wall_s.t1",)
 # listed separately so the warning fires the right way around.
 WARN_PREFIXES = ("search.",)
 WARN_HIGHER_IS_BETTER = ("search.rebuild_speedup.", "search.best_over_baseline.",
-                         "search.e2e_evals_per_s.")
+                         "search.e2e_evals_per_s.",
+                         "search.tempering.best_over_baseline.",
+                         "search.tempering.e2e_evals_per_s.")
 # Workload counts, not timings: reported for the record, never compared
 # against a ratio threshold (a different proposal mix is not a slowdown).
-COUNT_KEYS = ("search.e2e_evaluations.", "search.incremental_rebuilds.")
+COUNT_KEYS = ("search.e2e_evaluations.", "search.incremental_rebuilds.",
+              "search.tempering.evaluations.",
+              "search.tempering.exchange_accept_rate.",
+              "search.tempering.incremental_rebuilds.")
 
 
 def load(path):
