@@ -18,11 +18,13 @@
 
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
+#include "explore/sweep.hpp"
 #include "graph/algorithms.hpp"
 #include "noc/simulator.hpp"
 #include "noc/topology.hpp"
 #include "partition/partitioner.hpp"
 #include "perf_json.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -134,6 +136,49 @@ void bench_evaluate_analytic() {
                      g_smoke ? 0.05 : 0.3, 3));
 }
 
+void bench_telemetry_overhead() {
+  // The telemetry contract (src/telemetry/telemetry.hpp): one relaxed
+  // load when disabled, sharded relaxed atomics when enabled — either way
+  // the simulation must not notice. This measures a small end-to-end
+  // sweep (arena + topology + saturation probes + pool, i.e. every
+  // instrumented layer) with the registry off and on, and records the
+  // on/off ratio. check_perf_regression.py gates it warn-only, so a
+  // regression shows up in CI logs without blocking on timer noise.
+  hm::core::EvaluationParams p;
+  p.latency_warmup = 300;
+  p.latency_measure = 600;
+  p.latency_drain_limit = 60000;
+  p.throughput_warmup = 400;
+  p.throughput_measure = 400;
+
+  hm::explore::SweepSpec spec;
+  spec.types = {ArrangementType::kHexaMesh};
+  spec.chiplet_counts = {9};
+  spec.param_grid = {p};
+
+  hm::explore::SweepEngine::Options opt;
+  opt.threads = 1;
+  opt.use_cache = false;  // re-simulate every repetition
+
+  const auto run_once = [&] {
+    hm::explore::SweepEngine engine(opt);
+    (void)engine.run(spec);
+  };
+
+  const bool was_enabled = hm::telemetry::enabled();
+  hm::telemetry::set_enabled(false);
+  const double off_s = time_median(run_once, g_smoke ? 0.1 : 0.6, 3);
+  hm::telemetry::set_enabled(true);
+  const double on_s = time_median(run_once, g_smoke ? 0.1 : 0.6, 3);
+  hm::telemetry::set_enabled(was_enabled);
+
+  const double ratio = off_s > 0.0 ? on_s / off_s : 1.0;
+  std::printf("%-36s %12.3f x (on %.2f ms, off %.2f ms)\n",
+              "telemetry.overhead_ratio", ratio, on_s * 1e3, off_s * 1e3);
+  // Recorded directly (report() would append "_ns" to a ratio).
+  g_metrics["telemetry.overhead_ratio"] = ratio;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +192,7 @@ int main(int argc, char** argv) {
   bench_tables();
   bench_simulator_cycles();
   bench_evaluate_analytic();
+  bench_telemetry_overhead();
   hm::bench::update_perf_json(g_metrics);
   return 0;
 }

@@ -4,6 +4,8 @@
 //
 //   ./arrangement_explorer [grid|brickwall|hexamesh] [N]
 //   ./arrangement_explorer all [N]        (compare all three)
+//       --telemetry         print the metrics snapshot on exit
+//       --trace out.json    record a Chrome trace (load in Perfetto)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +46,8 @@ void show(ArrangementType type, std::size_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto tcli = hm::cli::TelemetryCli::extract(argc, argv);
+  tcli.begin();
   const std::string which = argc > 1 ? argv[1] : "all";
   // PR 4's checked parser, now hoisted into examples/cli_util.hpp and
   // shared by every example: rejects garbage, negatives (which strtoul
@@ -79,5 +83,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  tcli.finish();
   return 0;
 }

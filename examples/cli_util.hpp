@@ -22,6 +22,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hm::cli {
 
@@ -139,5 +143,69 @@ inline double require_double(const char* s, const char* what,
 /// arrangement_explorer hardening): large enough for any plausible demo,
 /// small enough that a typo cannot allocate the machine away.
 inline constexpr std::size_t kMaxChiplets = 100000;
+
+/// Shared `--telemetry` / `--trace FILE` handling for the example mains
+/// (the flag-based twin of the HM_TELEMETRY / HM_TRACE_FILE env knobs in
+/// telemetry/). extract() strips the two flags out of argv *before* the
+/// example's own loop runs — the examples address positionals by argv
+/// index, so the flags must not still be there — then begin() arms the
+/// metrics registry and the Chrome tracer and finish() flushes the trace
+/// file and prints the telemetry::snapshot() JSON. The trace flag name is
+/// a parameter because search_arrangement already owns `--trace` for its
+/// deterministic search-step CSV; it passes "--chrome-trace" instead.
+struct TelemetryCli {
+  bool telemetry = false;
+  std::string trace_path;
+
+  [[nodiscard]] static TelemetryCli extract(
+      int& argc, char** argv, const char* trace_flag = "--trace") {
+    TelemetryCli t;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--telemetry") == 0) {
+        t.telemetry = true;
+      } else if (std::strcmp(argv[i], trace_flag) == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", trace_flag);
+          std::exit(1);
+        }
+        t.trace_path = argv[++i];
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return t;
+  }
+
+  /// Arms the registry and (when a path was given) the tracer. Tracing
+  /// switches the registry on too: a trace without its counters is only
+  /// half a flight recording.
+  void begin() const {
+    if (telemetry || !trace_path.empty()) hm::telemetry::set_enabled(true);
+    if (!trace_path.empty() && !hm::telemetry::trace_start(trace_path)) {
+      std::fprintf(stderr,
+                   "warning: tracing already armed (HM_TRACE_FILE?); "
+                   "%s ignored\n",
+                   trace_path.c_str());
+    }
+  }
+
+  /// Writes the trace file and prints the metrics snapshot (stdout, so it
+  /// can be piped into jq/python). Call on the success paths of main();
+  /// skipping it on error exits just loses the report, never corrupts
+  /// anything.
+  void finish() const {
+    if (!trace_path.empty() && hm::telemetry::trace_stop()) {
+      std::fprintf(stderr, "chrome trace written: %s (load in Perfetto)\n",
+                   trace_path.c_str());
+    }
+    if (telemetry) {
+      std::printf("telemetry snapshot:\n%s\n",
+                  hm::telemetry::snapshot_json().c_str());
+    }
+  }
+};
 
 }  // namespace hm::cli

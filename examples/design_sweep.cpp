@@ -14,10 +14,17 @@
 //   ./design_sweep [N1 N2 ...]              (default: 16 25 37 64)
 //   ./design_sweep --threads K [N...]       sweep with K threads
 //   ./design_sweep --csv out.csv [N...]     export raw records as CSV
+//                                           (.json exports JSON; with
+//                                           --telemetry the JSON gains a
+//                                           "telemetry" snapshot block)
 //   ./design_sweep --search S [N...]        add tempering-searched points
+//   ./design_sweep --telemetry [N...]       print the metrics snapshot
+//   ./design_sweep --trace out.json [N...]  record a Chrome trace (Perfetto)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,6 +37,8 @@
 
 int main(int argc, char** argv) {
   using namespace hm::core;
+  const auto tcli = hm::cli::TelemetryCli::extract(argc, argv);
+  tcli.begin();
   std::vector<std::size_t> sweep;
   unsigned threads = 0;  // hardware concurrency
   std::size_t search_steps = 0;
@@ -156,12 +165,23 @@ int main(int argc, char** argv) {
     }
 
     if (!csv_path.empty()) {
-      hm::explore::export_file(csv_path, records);
+      const bool json = csv_path.size() >= 5 &&
+                        csv_path.compare(csv_path.size() - 5, 5, ".json") == 0;
+      if (json && tcli.telemetry) {
+        // Opt-in richer export: the plain record array plus the current
+        // telemetry snapshot. Plain exports stay byte-identical (goldens).
+        std::ofstream os(csv_path);
+        if (!os) throw std::runtime_error("cannot open " + csv_path);
+        hm::explore::write_json_with_telemetry(os, records);
+      } else {
+        hm::explore::export_file(csv_path, records);
+      }
       std::printf("\nraw records exported: %s\n", csv_path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  tcli.finish();
   return 0;
 }

@@ -3,6 +3,8 @@
 // simulate hotspot traffic toward the I/O chiplets on the extended graph.
 //
 //   ./io_floorplan [grid|brickwall|hexamesh] [N] [io_depth_mm]
+//       --telemetry         print the metrics snapshot on exit
+//       --trace out.json    record a Chrome trace (load in Perfetto)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,6 +18,8 @@
 
 int main(int argc, char** argv) {
   using namespace hm::core;
+  const auto tcli = hm::cli::TelemetryCli::extract(argc, argv);
+  tcli.begin();
   const std::string which = argc > 1 ? argv[1] : "hexamesh";
   const std::size_t n =
       argc > 2 ? hm::cli::require_size(argv[2], "N", 1, hm::cli::kMaxChiplets)
@@ -50,7 +54,10 @@ int main(int argc, char** argv) {
               plan.extended.node_count(), plan.extended.edge_count(),
               hm::graph::is_connected(plan.extended) ? "yes" : "no");
 
-  if (plan.extended.node_count() < 2) return 0;
+  if (plan.extended.node_count() < 2) {
+    tcli.finish();
+    return 0;
+  }
 
   // Hotspot traffic: 30% of packets target the first I/O chiplet's
   // endpoints (e.g. a memory controller), the rest are uniform.
@@ -76,5 +83,6 @@ int main(int argc, char** argv) {
   const auto sat = hm::noc::find_saturation(plan.extended, cfg, opts, spec);
   std::printf("hotspot-to-I/O saturation: %.3f of full injection rate\n",
               sat.accepted_flit_rate);
+  tcli.finish();
   return 0;
 }

@@ -3,6 +3,8 @@
 // D2D link budget — the Sec. IV-B/V workflow a chiplet architect would run.
 //
 //   ./link_budget [N] [c4|microbump] [power_fraction]
+//       --telemetry         print the metrics snapshot on exit
+//       --trace out.json    record a Chrome trace (load in Perfetto)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,6 +17,8 @@
 
 int main(int argc, char** argv) {
   using namespace hm::core;
+  const auto tcli = hm::cli::TelemetryCli::extract(argc, argv);
+  tcli.begin();
   const std::size_t n =
       argc > 1 ? hm::cli::require_size(argv[1], "N", 1, hm::cli::kMaxChiplets)
                : 64;
@@ -68,5 +72,6 @@ int main(int argc, char** argv) {
                     ? "OK for silicon interposer (<= 2 mm, Sec. II)"
                     : "needs package substrate (> 2 mm)");
   }
+  tcli.finish();
   return 0;
 }

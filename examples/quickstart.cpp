@@ -3,6 +3,8 @@
 // evaluation — the whole public API in ~60 lines.
 //
 //   ./quickstart [N]        (default N = 37, a regular 3-ring HexaMesh)
+//       --telemetry         print the metrics snapshot on exit
+//       --trace out.json    record a Chrome trace (load in Perfetto)
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +17,8 @@
 
 int main(int argc, char** argv) {
   using namespace hm::core;
+  const auto tcli = hm::cli::TelemetryCli::extract(argc, argv);
+  tcli.begin();
   const std::size_t n =
       argc > 1 ? hm::cli::require_size(argv[1], "N", 1, hm::cli::kMaxChiplets)
                : 37;
@@ -46,7 +50,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(link.data_wires),
               link.bandwidth_bps / 1e9);
 
-  if (n < 2) return 0;
+  if (n < 2) {
+    tcli.finish();
+    return 0;
+  }
 
   // 4. Cycle-accurate evaluation (zero-load latency + saturation throughput).
   EvaluationParams params;
@@ -58,5 +65,6 @@ int main(int argc, char** argv) {
               "%.1f%% of full rate = %.2f Tb/s\n",
               r.zero_load_latency_cycles, 100.0 * r.saturation_fraction,
               r.saturation_throughput_bps / 1e12);
+  tcli.finish();
   return 0;
 }

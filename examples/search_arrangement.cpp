@@ -17,6 +17,10 @@
 //       --threads K         candidate-evaluation concurrency (default: hw)
 //       --seed S            search RNG base seed (default 42)
 //       --trace out.csv     export the search trace (.json for JSON)
+//       --telemetry         print the metrics snapshot on exit
+//       --chrome-trace F    record a Chrome trace (load in Perfetto);
+//                           distinct from --trace, which stays the
+//                           deterministic step-by-step search CSV
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +41,8 @@ void usage_and_exit(const char* argv0) {
       "usage: %s [grid|brickwall|hexamesh] [N] [steps] [--anneal] "
       "[--tempering K] [--exchange I] [--objective thr|latency|"
       "thr-per-area] [--area-weight W] [--latency] [--threads K] "
-      "[--seed S] [--trace out.csv]\n",
+      "[--seed S] [--trace out.csv] [--telemetry] "
+      "[--chrome-trace out.json]\n",
       argv0);
   std::exit(1);
 }
@@ -46,6 +51,11 @@ void usage_and_exit(const char* argv0) {
 
 int main(int argc, char** argv) {
   using namespace hm;
+  // --trace here is the deterministic search CSV (CI diffs it across
+  // thread counts), so the Chrome trace rides on --chrome-trace instead.
+  const auto tcli =
+      hm::cli::TelemetryCli::extract(argc, argv, "--chrome-trace");
+  tcli.begin();
 
   std::string family = "hexamesh";
   std::size_t n = 37;
@@ -199,6 +209,7 @@ int main(int argc, char** argv) {
         hm::search::export_trace_file(trace_path, res.trace);
         std::printf("trace exported: %s\n", trace_path.c_str());
       }
+      tcli.finish();
       return 0;
     }
 
@@ -245,5 +256,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  tcli.finish();
   return 0;
 }

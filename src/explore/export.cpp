@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace hm::explore {
 
 namespace {
@@ -128,6 +130,21 @@ void write_json(std::ostream& os, const std::vector<SweepRecord>& records) {
 std::string to_json(const std::vector<SweepRecord>& records) {
   std::ostringstream os;
   write_json(os, records);
+  return os.str();
+}
+
+void write_json_with_telemetry(std::ostream& os,
+                               const std::vector<SweepRecord>& records) {
+  os << "{\n\"records\": ";
+  write_json(os, records);
+  os << ",\n\"telemetry\": ";
+  telemetry::write_snapshot_json(os);
+  os << "\n}\n";
+}
+
+std::string to_json_with_telemetry(const std::vector<SweepRecord>& records) {
+  std::ostringstream os;
+  write_json_with_telemetry(os, records);
   return os.str();
 }
 

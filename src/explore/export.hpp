@@ -24,6 +24,17 @@ void write_csv(std::ostream& os, const std::vector<SweepRecord>& records);
 void write_json(std::ostream& os, const std::vector<SweepRecord>& records);
 [[nodiscard]] std::string to_json(const std::vector<SweepRecord>& records);
 
+/// Opt-in variant wrapping the record array together with the current
+/// telemetry::snapshot(): {"records": [...], "telemetry": {...}}. A
+/// separate entry point — never the default — so the plain exports (and
+/// the committed goldens built from them) stay byte-identical whether or
+/// not telemetry is enabled. The telemetry block is timing-dependent under
+/// concurrency; don't diff it across runs.
+void write_json_with_telemetry(std::ostream& os,
+                               const std::vector<SweepRecord>& records);
+[[nodiscard]] std::string to_json_with_telemetry(
+    const std::vector<SweepRecord>& records);
+
 /// Explicit-format file writers. Throw std::runtime_error when the file
 /// cannot be opened.
 void write_csv_file(const std::string& path,

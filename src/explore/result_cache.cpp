@@ -1,19 +1,50 @@
 #include "explore/result_cache.hpp"
 
 #include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace hm::explore {
 
+namespace {
+
+/// Per-shard telemetry counters, aggregated across every ResultCache
+/// instance in the process (the registry view; per-instance deltas stay on
+/// hits()/misses()). Built once, on first lookup.
+struct ShardCounters {
+  std::vector<telemetry::Counter> hits;
+  std::vector<telemetry::Counter> misses;
+  ShardCounters(const char* prefix, std::size_t shards) {
+    hits.reserve(shards);
+    misses.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::string base =
+          std::string(prefix) + (s < 10 ? ".shard0" : ".shard") +
+          std::to_string(s);
+      hits.emplace_back((base + ".hits").c_str());
+      misses.emplace_back((base + ".misses").c_str());
+    }
+  }
+};
+
+}  // namespace
+
 std::optional<core::EvaluationResult> ResultCache::lookup(
     std::uint64_t key) const {
-  const Shard& shard = shard_for(key);
+  static ShardCounters counters("cache", kShards);
+  const std::size_t shard_idx = key & (kShards - 1);
+  const Shard& shard = shards_[shard_idx];
   const std::shared_lock<std::shared_mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    counters.misses[shard_idx].add();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  counters.hits[shard_idx].add();
   return it->second;
 }
 

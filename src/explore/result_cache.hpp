@@ -63,6 +63,12 @@ class ResultCache {
   void clear();
 
   /// Lifetime lookup counters (lookup() and get_or_compute()).
+  ///
+  /// Deprecated for observability use: lookups are also published, per
+  /// shard and aggregated across every ResultCache instance, as the
+  /// `cache.shardNN.{hits,misses}` counters in telemetry::snapshot() — the
+  /// uniform surface. These per-instance accessors stay for the engines'
+  /// delta bookkeeping (SearchResult::cache_hits etc.).
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 

@@ -7,6 +7,8 @@
 #include "explore/hash.hpp"
 #include "noc/rng.hpp"
 #include "noc/topology.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hm::explore {
 
@@ -71,6 +73,9 @@ void SweepEngine::add_arrangement(core::Arrangement arrangement,
 }
 
 SweepRecord SweepEngine::evaluate_point(const SweepPoint& point) {
+  telemetry::Span span("sweep.job");
+  static telemetry::Counter jobs("sweep.jobs");
+  jobs.add();
   SweepRecord rec;
   rec.point = point;
   const auto start = std::chrono::steady_clock::now();

@@ -5,6 +5,8 @@
 #include <exception>
 
 #include "noc/arena.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hm::explore {
 
@@ -56,7 +58,10 @@ void ThreadPool::drain(Batch& batch) {
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
+    static telemetry::Counter jobs_run("pool.jobs_run");
+    jobs_run.add();
     try {
+      telemetry::Span span("pool.job");
       (*batch.jobs)[i]();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(batch.mu);
@@ -74,6 +79,7 @@ void ThreadPool::worker_loop() {
     std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      telemetry::Span idle_span("pool.idle");
       cv_.wait(lock, [this] { return stop_ || !open_batches_.empty(); });
       if (stop_) {
         // Release this worker's cached simulation networks: after the pool
@@ -97,7 +103,15 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_batch(std::vector<std::function<void()>>& jobs) {
   if (jobs.empty()) return;
   if (workers_.empty() || jobs.size() == 1) {
-    for (auto& job : jobs) job();  // sequential baseline; exceptions propagate
+    // Sequential baseline; exceptions propagate. Same job accounting as
+    // drain() so pool.jobs_run means "jobs the pool executed" at any
+    // thread count, not "jobs that went through a Batch".
+    static telemetry::Counter jobs_run("pool.jobs_run");
+    for (auto& job : jobs) {
+      jobs_run.add();
+      telemetry::Span span("pool.job");
+      job();
+    }
     return;
   }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
 namespace hm::noc {
 
 /// One cached network slot. Entries are heap-allocated so leases can hold a
@@ -37,6 +40,9 @@ SimulationArena::Lease SimulationArena::lease(
   for (auto& e : entries_) {
     if (!e->in_use && e->topo.get() == topo.get() &&
         e->cfg.same_structure(cfg)) {
+      telemetry::Span span("arena.reuse");
+      static telemetry::Counter reused("arena.networks_reused");
+      reused.add();
       e->in_use = true;
       e->last_used = ++tick_;
       e->net->reset();
@@ -59,9 +65,15 @@ SimulationArena::Lease SimulationArena::lease(
   if (slot == nullptr) {
     // Every slot is checked out (nested probes on this thread): serve a
     // one-off network the lease owns outright.
+    telemetry::Span span("arena.build");
+    static telemetry::Counter oneoff("arena.oneoff_networks");
+    oneoff.add();
     ++stats_.oneoff_networks;
     return Lease(std::make_unique<Network>(std::move(topo), cfg));
   }
+  telemetry::Span span("arena.build");
+  static telemetry::Counter built("arena.networks_built");
+  built.add();
   ++stats_.networks_built;
   slot->net = std::make_unique<Network>(topo, cfg);
   slot->topo = std::move(topo);

@@ -34,6 +34,11 @@ namespace hm::noc {
 class SimulationArena {
  public:
   /// Lifetime counters (per arena, i.e. per worker thread).
+  ///
+  /// Deprecated for observability use: the same events are published,
+  /// summed across all arenas, as the `arena.*` counters in
+  /// telemetry::snapshot() (telemetry/telemetry.hpp). stats() stays for
+  /// the per-arena assertions in test_arena.
   struct Stats {
     std::uint64_t networks_built = 0;   ///< cache misses: full construction
     std::uint64_t networks_reused = 0;  ///< cache hits: reset() only

@@ -32,6 +32,7 @@ bool Endpoint::try_enqueue(const Packet& p) {
   admitted.id = packets_->add(p);  // cold record written exactly once
   queue_.push_back(admitted);
   ++packets_enqueued_;
+  if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
   return true;
 }
 
@@ -106,6 +107,7 @@ void Endpoint::reset() {
   rr_vc_ = 0;
   flits_injected_ = 0;
   packets_enqueued_ = 0;
+  queue_hwm_ = 0;
   sink_ = SinkStats{};
   window_begin_ = 0;
   window_end_ = std::numeric_limits<Cycle>::min();

@@ -73,6 +73,8 @@ class Endpoint {
   [[nodiscard]] std::size_t queue_length() const noexcept {
     return queue_.size();
   }
+  /// Max source-queue occupancy since construction/reset (telemetry HWM).
+  [[nodiscard]] std::uint64_t queue_hwm() const noexcept { return queue_hwm_; }
   /// Flits belonging to enqueued-but-not-yet-fully-injected packets.
   [[nodiscard]] std::size_t pending_flits() const noexcept;
 
@@ -90,6 +92,7 @@ class Endpoint {
   int rr_vc_ = 0;             ///< round-robin start for VC selection
   std::uint64_t flits_injected_ = 0;
   std::uint64_t packets_enqueued_ = 0;
+  std::uint64_t queue_hwm_ = 0;
   SinkStats sink_;
   Cycle window_begin_ = 0;
   Cycle window_end_ = std::numeric_limits<Cycle>::min();

@@ -145,6 +145,25 @@ std::uint64_t Network::total_flits_ejected() const {
   return total;
 }
 
+Network::HotStats Network::hot_stats() const {
+  HotStats out;
+  for (const auto& r : routers_) {
+    const Router::HotStats& s = r.hot_stats();
+    out.routers.flits_routed += s.flits_routed;
+    out.routers.va_stall_cycles += s.va_stall_cycles;
+    out.routers.sa_conflict_stalls += s.sa_conflict_stalls;
+    out.routers.sa_credit_stalls += s.sa_credit_stalls;
+    out.routers.heads_revoked += s.heads_revoked;
+    if (s.ring_hwm > out.routers.ring_hwm) out.routers.ring_hwm = s.ring_hwm;
+  }
+  for (const auto& ep : endpoints_) {
+    if (ep.queue_hwm() > out.source_queue_hwm) {
+      out.source_queue_hwm = ep.queue_hwm();
+    }
+  }
+  return out;
+}
+
 bool Network::invariants_ok(std::string* why) const {
   for (const auto& r : routers_) {
     if (!r.invariants_ok(why)) return false;

@@ -85,6 +85,15 @@ class Network {
   [[nodiscard]] std::uint64_t total_flits_injected() const;
   [[nodiscard]] std::uint64_t total_flits_ejected() const;
 
+  /// Network-wide hot-path counters since construction/reset: router stats
+  /// summed (HWMs maxed) over all routers, plus the source-queue HWM over
+  /// all endpoints. ~Simulator flushes this into the telemetry registry.
+  struct HotStats {
+    Router::HotStats routers;           ///< summed; ring_hwm is the max
+    std::uint64_t source_queue_hwm = 0; ///< max endpoint queue occupancy
+  };
+  [[nodiscard]] HotStats hot_stats() const;
+
   /// Runs all router invariant checks; false + reason on violation.
   [[nodiscard]] bool invariants_ok(std::string* why = nullptr) const;
 

@@ -71,6 +71,7 @@ void Router::reset() {
   std::fill(sa_request_mask_.begin(), sa_request_mask_.end(), 0);
   std::fill(free_adaptive_.begin(), free_adaptive_.end(), cfg_.vcs - 1);
   now_ = 0;
+  stats_ = HotStats{};
 }
 
 void Router::wire_output(std::size_t port, FlitChannel* channel, int latency) {
@@ -97,6 +98,7 @@ void Router::receive_flit(std::size_t port, Flit f, Cycle now) {
   assert(iv.buf.size() <
          static_cast<std::size_t>(cfg_.buffer_depth));  // credits guarantee
   iv.buf.push_back(BufFlit{f, now + cfg_.router_latency});
+  if (iv.buf.size() > stats_.ring_hwm) stats_.ring_hwm = iv.buf.size();
 }
 
 void Router::receive_credit(std::size_t port, int vc) {
@@ -198,6 +200,7 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
     }
   }
   ++iv.blocked_cycles;
+  ++stats_.va_stall_cycles;
   return false;
 }
 
@@ -249,10 +252,16 @@ void Router::switch_allocate(Cycle now) {
       const auto in_port = static_cast<std::size_t>(idx) /
                            static_cast<std::size_t>(cfg_.vcs);
       if (iv.buf.empty()) return false;
-      if (sa_in_port_used_[in_port]) return false;
+      if (sa_in_port_used_[in_port]) {
+        ++stats_.sa_conflict_stalls;
+        return false;
+      }
       if (iv.buf.front().ready_time > now) return false;
       OutputVc& ov = out_[static_cast<std::size_t>(flat(out_p, iv.out_vc))];
-      if (ov.credits <= 0) return false;
+      if (ov.credits <= 0) {
+        ++stats_.sa_credit_stalls;
+        return false;
+      }
 
       // Grant: traverse the switch and the output link (an 8-byte copy).
       Flit f = iv.buf.front().flit;
@@ -265,6 +274,7 @@ void Router::switch_allocate(Cycle now) {
       out_channel_[out_p]->push(f, now + out_latency_[out_p]);
       --ov.credits;
       ++iv.flits_sent;
+      ++stats_.flits_routed;
       sa_in_port_used_[in_port] = 1;
       sa_out_port_used_[out_p] = 1;
 
@@ -353,6 +363,7 @@ void Router::revoke_blocked_heads() {
     iv.escape = false;
     iv.state = VcState::kNeedsVc;
     ++iv.blocked_cycles;
+    ++stats_.heads_revoked;
   }
 }
 

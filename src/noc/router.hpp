@@ -37,6 +37,19 @@ namespace hm::noc {
 /// graph.neighbors(id)), ports deg..deg+E-1 connect to the local endpoints.
 class Router {
  public:
+  /// Hot-path event counters, kept as plain members (bumping them is a
+  /// register increment, cheap enough to run unconditionally) and flushed
+  /// into the telemetry registry by ~Simulator when telemetry is enabled.
+  /// Zeroed by reset() like every other mutable field.
+  struct HotStats {
+    std::uint64_t flits_routed = 0;       ///< switch grants (flit traversals)
+    std::uint64_t va_stall_cycles = 0;    ///< VC-allocation failures
+    std::uint64_t sa_conflict_stalls = 0; ///< SA loss: input port taken
+    std::uint64_t sa_credit_stalls = 0;   ///< SA loss: zero output credits
+    std::uint64_t heads_revoked = 0;      ///< escape-fallback revocations
+    std::uint64_t ring_hwm = 0;           ///< max input RingQueue occupancy
+  };
+
   /// `tables` must outlive the router (it lives in the shared
   /// TopologyContext that the owning Network keeps alive); `packets` is the
   /// owning Network's packet table (read at RC for ejection routing). A
@@ -75,6 +88,8 @@ class Router {
 
   /// Total flits currently buffered (for conservation checks).
   [[nodiscard]] std::size_t buffered_flits() const;
+
+  [[nodiscard]] const HotStats& hot_stats() const noexcept { return stats_; }
 
   /// Validates internal invariants (buffer bounds, credit bounds, ownership
   /// consistency). Returns false and fills `why` on violation.
@@ -164,6 +179,8 @@ class Router {
   std::vector<int> free_adaptive_;
 
   Cycle now_ = 0;  ///< updated by step(); used for SA readiness checks
+
+  HotStats stats_;
 };
 
 }  // namespace hm::noc

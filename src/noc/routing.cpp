@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hm::noc {
 
@@ -69,6 +70,8 @@ bool RoutingTables::identical_to(const RoutingTables& o) const {
 RoutingTables::RoutingTables(const graph::Graph& g) {
   check_buildable(g);
   g_lifetime_builds.fetch_add(1, std::memory_order_relaxed);
+  static telemetry::Counter builds("routing.lifetime_builds");
+  builds.add();
   build_full(g);
 }
 
@@ -76,6 +79,8 @@ RoutingTables::RoutingTables(const graph::Graph& g, const RoutingTables& prev,
                              const GraphEdit& edit) {
   check_buildable(g);
   g_lifetime_builds.fetch_add(1, std::memory_order_relaxed);
+  static telemetry::Counter builds("routing.lifetime_builds");
+  builds.add();
   const std::size_t n = g.node_count();
   if (n != prev.n_ || edit.empty()) {
     // Vertex-set changes (and no-op edits on a fresh graph) are non-local
@@ -156,6 +161,10 @@ RoutingTables::RoutingTables(const graph::Graph& g, const RoutingTables& prev,
   g_incremental_builds.fetch_add(1, std::memory_order_relaxed);
   g_incremental_rows_reused.fetch_add(n - changed_rows,
                                       std::memory_order_relaxed);
+  static telemetry::Counter incr("routing.incremental_builds");
+  static telemetry::Counter rows("routing.incremental_rows_reused");
+  incr.add();
+  rows.add(n - changed_rows);
 
   degree_.resize(n);
   for (graph::NodeId v = 0; v < n; ++v) degree_[v] = g.degree(v);

@@ -129,12 +129,18 @@ class RoutingTables {
   /// Process-lifetime count of table constructions. The topology-sharing
   /// contract — "one table build per evaluate / find_saturation / sweep-job
   /// chain" — is asserted by tests through deltas of this counter.
+  ///
+  /// Deprecated for observability use: the same counts are published as
+  /// `routing.*` counters in telemetry::snapshot() (telemetry/telemetry.hpp),
+  /// the uniform surface. These bespoke accessors stay for the existing
+  /// delta-based test/engine bookkeeping only.
   [[nodiscard]] static std::uint64_t lifetime_builds() noexcept;
 
   /// Process-lifetime counts of incremental builds that stayed incremental
   /// (vs. falling back to a full rebuild) and of distance rows copied from
   /// the previous tables instead of re-running BFS. Observability for the
-  /// search bench and the equivalence tests.
+  /// search bench and the equivalence tests. Deprecated in favour of the
+  /// `routing.incremental_*` telemetry counters (see lifetime_builds()).
   [[nodiscard]] static std::uint64_t incremental_builds() noexcept;
   [[nodiscard]] static std::uint64_t incremental_rows_reused() noexcept;
 

@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
 namespace hm::noc {
 
 Simulator::Simulator(const graph::Graph& g, const SimConfig& cfg)
@@ -26,6 +29,29 @@ Simulator::Simulator(SimulationArena& arena,
       lease_(arena.lease(std::move(topo), cfg)),
       net_(lease_.network()),
       rng_(cfg.seed) {}
+
+Simulator::~Simulator() {
+  if (!telemetry::enabled()) return;
+  static telemetry::Counter flits_routed("sim.flits_routed");
+  static telemetry::Counter va_stalls("sim.va_stall_cycles");
+  static telemetry::Counter sa_conflicts("sim.sa_conflict_stalls");
+  static telemetry::Counter sa_credit("sim.sa_credit_stalls");
+  static telemetry::Counter revoked("sim.heads_revoked");
+  static telemetry::Counter admitted("sim.packets_admitted");
+  static telemetry::Counter dropped("sim.packets_dropped");
+  static telemetry::Gauge ring_hwm("sim.ring_hwm");
+  static telemetry::Gauge source_hwm("sim.source_queue_hwm");
+  const Network::HotStats s = net_.hot_stats();
+  flits_routed.add(s.routers.flits_routed);
+  va_stalls.add(s.routers.va_stall_cycles);
+  sa_conflicts.add(s.routers.sa_conflict_stalls);
+  sa_credit.add(s.routers.sa_credit_stalls);
+  revoked.add(s.routers.heads_revoked);
+  admitted.add(packets_admitted_);
+  dropped.add(packets_dropped_);
+  ring_hwm.set_max(s.routers.ring_hwm);
+  source_hwm.set_max(s.source_queue_hwm);
+}
 
 void Simulator::set_traffic(const TrafficSpec& spec) {
   spec.validate(net_.num_endpoints());
@@ -173,6 +199,7 @@ SaturationResult find_saturation(std::shared_ptr<const TopologyContext> topo,
   }
   traffic.validate(topo->node_count() *
                    static_cast<std::size_t>(cfg.endpoints_per_chiplet));
+  telemetry::Span search_span("sat.search");
   SaturationResult result;
 
   // A probe's outcome is a pure function of its offered rate: it runs on a
@@ -180,6 +207,9 @@ SaturationResult find_saturation(std::shared_ptr<const TopologyContext> topo,
   // invariant that makes speculative parallel probing below bit-identical
   // to the sequential search.
   auto run_one = [&](double rate) {
+    telemetry::Span span("sat.probe");
+    static telemetry::Counter probes_run("sat.probes");
+    probes_run.add();
     SimConfig probe_cfg = cfg;
     if (opts.per_probe_seeds) {
       probe_cfg.seed = derive_seed(cfg.seed, saturation_rate_key(rate));

@@ -140,6 +140,12 @@ class Simulator {
   Simulator(SimulationArena& arena, std::shared_ptr<const TopologyContext> topo,
             const SimConfig& cfg);
 
+  /// Flushes the run's hot-path counters (Network::hot_stats plus the
+  /// admitted/dropped packet totals) into the telemetry registry when
+  /// telemetry is enabled, before the lease is released. Pure observation:
+  /// never touches simulation state, so results are identical either way.
+  ~Simulator();
+
   /// Selects the traffic pattern for subsequent runs (default: uniform
   /// random, the paper's setup). Throws std::invalid_argument right here —
   /// not cycles later inside a measurement run — when the spec is invalid

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/stable_hash.hpp"
 
 namespace hm::noc {
@@ -81,7 +83,12 @@ std::uint64_t TopologyContext::cache_hits() noexcept {
 }
 
 TopologyContext::TopologyContext(const graph::Graph& g)
-    : graph_(g), digest_(graph_digest(g)), tables_(g) {
+    : graph_(g), digest_(graph_digest(g)), tables_([&] {
+        telemetry::Span span("topo.build_full");
+        return RoutingTables(g);
+      }()) {
+  static telemetry::Counter full_builds("topo.full_builds");
+  full_builds.add();
   g_context_builds.fetch_add(1, std::memory_order_relaxed);
   build_links();
 }
@@ -89,7 +96,12 @@ TopologyContext::TopologyContext(const graph::Graph& g)
 TopologyContext::TopologyContext(const graph::Graph& g,
                                  const TopologyContext& prev,
                                  const GraphEdit& edit)
-    : graph_(g), digest_(graph_digest(g)), tables_(g, prev.tables_, edit) {
+    : graph_(g), digest_(graph_digest(g)), tables_([&] {
+        telemetry::Span span("topo.build_incremental");
+        return RoutingTables(g, prev.tables_, edit);
+      }()) {
+  static telemetry::Counter incr_builds("topo.incremental_builds");
+  incr_builds.add();
   g_context_builds.fetch_add(1, std::memory_order_relaxed);
   build_links();
 }
@@ -138,11 +150,13 @@ std::shared_ptr<const TopologyContext> intern_or_build(const graph::Graph& g,
     return nullptr;
   };
 
+  static telemetry::Counter intern_hits("topo.intern_hits");
   {
     const std::lock_guard<std::mutex> lock(c.mu);
     maybe_prune(c);
     if (auto ctx = lookup()) {
       g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      intern_hits.add();
       return ctx;
     }
   }
@@ -151,6 +165,7 @@ std::shared_ptr<const TopologyContext> intern_or_build(const graph::Graph& g,
   const std::lock_guard<std::mutex> lock(c.mu);
   if (auto ctx = lookup()) {
     g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    intern_hits.add();
     return ctx;  // a racer registered first; adopt the shared instance
   }
   c.map[digest].push_back(built);

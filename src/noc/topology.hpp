@@ -94,7 +94,9 @@ class TopologyContext {
 
   /// Process-lifetime count of contexts constructed / acquire() calls
   /// served from the cache. Used by tests and the perf bench to verify the
-  /// build-once contract.
+  /// build-once contract. Deprecated for observability use: the same
+  /// events are published as the `topo.*` counters in
+  /// telemetry::snapshot() (telemetry/telemetry.hpp).
   [[nodiscard]] static std::uint64_t lifetime_builds() noexcept;
   [[nodiscard]] static std::uint64_t cache_hits() noexcept;
 

@@ -11,6 +11,8 @@
 #include "noc/rng.hpp"
 #include "noc/topology.hpp"
 #include "search/trace_io.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hm::search {
 
@@ -93,7 +95,10 @@ SearchResult SearchEngine::run(const core::Arrangement& start) {
   const double temp_scale =
       std::abs(result.baseline_score) * options_.initial_temperature;
 
+  static telemetry::Counter steps_run("search.steps");
   for (std::size_t step = 0; step < options_.steps; ++step) {
+    telemetry::Span step_span("search.step");
+    steps_run.add();
     // All nondeterminism of a step flows from this seed, on this thread.
     noc::Rng rng(noc::derive_seed(options_.seed, step));
 

@@ -11,6 +11,8 @@
 #include "noc/rng.hpp"
 #include "noc/topology.hpp"
 #include "search/trace_io.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hm::search {
 
@@ -124,7 +126,11 @@ TemperingResult TemperingEngine::run(const core::Arrangement& start) {
   std::vector<Replica> replicas(K, seed_replica);
   result.trace.reserve(options_.steps * K);
 
+  static telemetry::Counter steps_run("tempering.steps");
+  static telemetry::Counter exchange_sweeps("tempering.exchange_sweeps");
   for (std::size_t step = 0; step < options_.steps; ++step) {
+    telemetry::Span step_span("tempering.step");
+    steps_run.add();
     // Phase 1: propose. All nondeterminism of replica k's step flows from
     // rng[k], on this thread; the flattened batch layout is a pure function
     // of the options and the proposals.
@@ -231,6 +237,8 @@ TemperingResult TemperingEngine::run(const core::Arrangement& start) {
     // so the swap pattern is independent of thread count and of the
     // replica streams.
     if ((step + 1) % options_.exchange_interval == 0 && K > 1) {
+      telemetry::Span exchange_span("tempering.exchange");
+      exchange_sweeps.add();
       const std::size_t round = (step + 1) / options_.exchange_interval;
       const std::size_t parity = (round - 1) % 2;
       const std::uint64_t sweep_base = noc::derive_seed(

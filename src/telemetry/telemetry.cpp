@@ -1,0 +1,296 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hm::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxCounters = 192;
+constexpr std::size_t kMaxGauges = 64;
+constexpr std::size_t kMaxHistograms = 32;
+constexpr std::size_t kMaxBuckets = kMaxHistogramBounds + 1;  // + overflow
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("HM_TELEMETRY");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}()};
+
+/// One thread's slice of every metric. Fixed-capacity atomic arrays so
+/// slot addresses are stable for the shard's lifetime and concurrent
+/// add/snapshot is race-free by construction.
+struct Shard {
+  std::atomic<std::uint64_t> counters[kMaxCounters]{};
+  std::atomic<std::uint64_t> gauges[kMaxGauges]{};  // high-water, 0 = unset
+  std::atomic<std::uint64_t> hist_buckets[kMaxHistograms][kMaxBuckets]{};
+  std::atomic<std::uint64_t> hist_count[kMaxHistograms]{};
+  std::atomic<std::uint64_t> hist_sum[kMaxHistograms]{};
+
+  void zero() noexcept {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : gauges) g.store(0, std::memory_order_relaxed);
+    for (auto& row : hist_buckets) {
+      for (auto& b : row) b.store(0, std::memory_order_relaxed);
+    }
+    for (auto& c : hist_count) c.store(0, std::memory_order_relaxed);
+    for (auto& s : hist_sum) s.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Plain (mutex-guarded) accumulator the shards of exited threads fold
+/// into, so short-lived worker threads don't pin shards forever.
+struct Retired {
+  std::uint64_t counters[kMaxCounters]{};
+  std::uint64_t gauges[kMaxGauges]{};  // max across exited threads
+  std::uint64_t hist_buckets[kMaxHistograms][kMaxBuckets]{};
+  std::uint64_t hist_count[kMaxHistograms]{};
+  std::uint64_t hist_sum[kMaxHistograms]{};
+};
+
+class Registry {
+ public:
+  // Leaked singleton: outlives every thread_local shard owner, so thread
+  // exit during static destruction never touches a dead registry.
+  static Registry& instance() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  std::uint32_t register_counter(const char* name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return register_named(counter_names_, name, kMaxCounters,
+                          "telemetry: counter capacity exhausted");
+  }
+
+  std::uint32_t register_gauge(const char* name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return register_named(gauge_names_, name, kMaxGauges,
+                          "telemetry: gauge capacity exhausted");
+  }
+
+  std::uint32_t register_histogram(const char* name,
+                                   std::initializer_list<std::uint64_t> bounds) {
+    if (bounds.size() == 0 || bounds.size() > kMaxHistogramBounds) {
+      throw std::invalid_argument("telemetry: histogram needs 1..15 bounds");
+    }
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (std::uint64_t b : bounds) {
+      if (!first && b <= prev) {
+        throw std::invalid_argument(
+            "telemetry: histogram bounds must be strictly increasing");
+      }
+      prev = b;
+      first = false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto id = register_named(hist_names_, name, kMaxHistograms,
+                                   "telemetry: histogram capacity exhausted");
+    if (id == hist_bounds_.size()) {
+      hist_bounds_.emplace_back(bounds);
+    }
+    return id;
+  }
+
+  /// The calling thread's shard, created (or recycled from the free list)
+  /// on first use and folded into `retired_` on thread exit.
+  Shard& local_shard() {
+    thread_local ShardOwner owner(*this);
+    return *owner.shard;
+  }
+
+  Snapshot take_snapshot() {
+    Snapshot out;
+    std::lock_guard<std::mutex> lock(mu_);
+    Retired total = retired_;
+    for (const Shard* s : live_) merge_shard(*s, total);
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      out.counters[counter_names_[i]] = total.counters[i];
+    }
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+      out.gauges[gauge_names_[i]] = total.gauges[i];
+    }
+    for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+      Snapshot::Hist h;
+      h.bounds = hist_bounds_[i];
+      h.buckets.assign(total.hist_buckets[i],
+                       total.hist_buckets[i] + h.bounds.size() + 1);
+      h.count = total.hist_count[i];
+      h.sum = total.hist_sum[i];
+      out.histograms[hist_names_[i]] = std::move(h);
+    }
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ = Retired{};
+    for (Shard* s : live_) s->zero();
+  }
+
+ private:
+  struct ShardOwner {
+    explicit ShardOwner(Registry& r) : registry(r), shard(r.acquire_shard()) {}
+    ~ShardOwner() { registry.release_shard(shard); }
+    Registry& registry;
+    Shard* shard;
+  };
+
+  static std::uint32_t register_named(std::vector<std::string>& names,
+                                      const char* name, std::size_t cap,
+                                      const char* overflow_msg) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<std::uint32_t>(i);
+    }
+    if (names.size() >= cap) throw std::length_error(overflow_msg);
+    names.emplace_back(name);
+    return static_cast<std::uint32_t>(names.size() - 1);
+  }
+
+  static void merge_shard(const Shard& s, Retired& into) {
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      into.counters[i] += s.counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kMaxGauges; ++i) {
+      const auto v = s.gauges[i].load(std::memory_order_relaxed);
+      if (v > into.gauges[i]) into.gauges[i] = v;
+    }
+    for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+      for (std::size_t b = 0; b < kMaxBuckets; ++b) {
+        into.hist_buckets[i][b] +=
+            s.hist_buckets[i][b].load(std::memory_order_relaxed);
+      }
+      into.hist_count[i] += s.hist_count[i].load(std::memory_order_relaxed);
+      into.hist_sum[i] += s.hist_sum[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  Shard* acquire_shard() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Shard* s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+      s->zero();
+    } else {
+      all_.push_back(std::make_unique<Shard>());
+      s = all_.back().get();
+    }
+    live_.push_back(s);
+    return s;
+  }
+
+  void release_shard(Shard* s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merge_shard(*s, retired_);
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i] == s) {
+        live_[i] = live_.back();
+        live_.pop_back();
+        break;
+      }
+    }
+    free_.push_back(s);
+  }
+
+  std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::vector<std::vector<std::uint64_t>> hist_bounds_;
+  std::vector<std::unique_ptr<Shard>> all_;  ///< owns every shard ever made
+  std::vector<Shard*> live_;                 ///< shards with an owner thread
+  std::vector<Shard*> free_;                 ///< folded, ready for reuse
+  Retired retired_;
+};
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter::Counter(const char* name)
+    : id_(Registry::instance().register_counter(name)) {}
+
+void Counter::add(std::uint64_t n) noexcept {
+  if (!enabled()) return;
+  Registry::instance().local_shard().counters[id_].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+Gauge::Gauge(const char* name)
+    : id_(Registry::instance().register_gauge(name)) {}
+
+void Gauge::set_max(std::uint64_t v) noexcept {
+  if (!enabled()) return;
+  auto& slot = Registry::instance().local_shard().gauges[id_];
+  // Thread-owned slot: the only concurrent access is a snapshot read, so
+  // load + store (no CAS loop) is enough.
+  if (v > slot.load(std::memory_order_relaxed)) {
+    slot.store(v, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(const char* name,
+                     std::initializer_list<std::uint64_t> bounds)
+    : id_(Registry::instance().register_histogram(name, bounds)),
+      bounds_(bounds) {}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  if (!enabled()) return;
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  auto& shard = Registry::instance().local_shard();
+  shard.hist_buckets[id_][b].fetch_add(1, std::memory_order_relaxed);
+  shard.hist_count[id_].fetch_add(1, std::memory_order_relaxed);
+  shard.hist_sum[id_].fetch_add(v, std::memory_order_relaxed);
+}
+
+Snapshot snapshot() { return Registry::instance().take_snapshot(); }
+
+void write_snapshot_json(std::ostream& os) {
+  const Snapshot s = snapshot();
+  os << "{\n  \"counters\": {";
+  std::size_t i = 0;
+  for (const auto& [name, v] : s.counters) {
+    os << (i++ ? ",\n    " : "\n    ") << '"' << name << "\": " << v;
+  }
+  os << (i ? "\n  " : "") << "},\n  \"gauges\": {";
+  i = 0;
+  for (const auto& [name, v] : s.gauges) {
+    os << (i++ ? ",\n    " : "\n    ") << '"' << name << "\": " << v;
+  }
+  os << (i ? "\n  " : "") << "},\n  \"histograms\": {";
+  i = 0;
+  for (const auto& [name, h] : s.histograms) {
+    os << (i++ ? ",\n    " : "\n    ") << '"' << name << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      os << (b ? ", " : "") << h.bounds[b];
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << h.buckets[b];
+    }
+    os << "], \"count\": " << h.count << ", \"sum\": " << h.sum << "}";
+  }
+  os << (i ? "\n  " : "") << "}\n}";
+}
+
+std::string snapshot_json() {
+  std::ostringstream os;
+  write_snapshot_json(os);
+  return os.str();
+}
+
+void reset_for_test() { Registry::instance().reset(); }
+
+}  // namespace hm::telemetry

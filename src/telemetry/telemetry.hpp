@@ -1,0 +1,116 @@
+// Process-wide flight-recorder metrics registry.
+//
+// Named counters, high-water gauges and fixed-bucket histograms, sharded
+// per thread so hot-path increments never contend: every mutation is a
+// relaxed atomic op on a slot owned by the calling thread's shard, and
+// snapshot() merges the shards (plus the folded totals of exited threads)
+// under the registry mutex. The design rules, in priority order:
+//
+//   1. Never perturb simulation results. The registry touches no RNG, no
+//      simulation state and no output stream; instrumented code only adds
+//      counter increments. Golden sweeps stay byte-identical with
+//      telemetry enabled (pinned by test_telemetry).
+//   2. Near-zero overhead when disabled. The only cost on a disabled hot
+//      path is one relaxed atomic load of the global enabled flag
+//      (`telemetry.overhead_ratio` in BENCH_perf.json tracks this).
+//   3. TSan-clean under concurrent writers and concurrent snapshots: all
+//      shard slots are std::atomic, shard lifetime is managed under the
+//      registry mutex, and exited threads fold into a retired accumulator
+//      before their shard is recycled.
+//
+// Instrumentation sites hold a handle (Counter / Gauge / Histogram),
+// typically as a function-local static so name lookup happens once:
+//
+//   static telemetry::Counter c("arena.networks_reused");
+//   c.add();
+//
+// Metric identity is the name: two handles with the same name share the
+// slot, so process-wide aggregation across engine instances is the default
+// (per-instance deltas stay available through the legacy accessors, e.g.
+// ResultCache::hits()).
+//
+// Enablement: HM_TELEMETRY=1 in the environment, or set_enabled(true)
+// (the examples' --telemetry flag). Snapshots work either way; disabled
+// just means the increments are dropped.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hm::telemetry {
+
+/// Global on/off switch. Initialized from HM_TELEMETRY (unset/"0" = off).
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonic counter. add() is a relaxed fetch_add on the calling
+/// thread's shard when enabled, a single relaxed load when disabled.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+  void add(std::uint64_t n = 1) noexcept;
+
+ private:
+  std::uint32_t id_;
+};
+
+/// High-water gauge: each thread tracks the max value it has seen;
+/// snapshot() reports the max across threads (the right merge for
+/// queue-occupancy high-water marks, the only gauge use so far).
+class Gauge {
+ public:
+  explicit Gauge(const char* name);
+  void set_max(std::uint64_t v) noexcept;
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Fixed-bucket histogram. Bucket i counts values <= bounds[i] (first
+/// matching bucket wins); values above the last bound land in the
+/// overflow bucket. At most kMaxHistogramBounds bounds; they must be
+/// strictly increasing.
+class Histogram {
+ public:
+  Histogram(const char* name, std::initializer_list<std::uint64_t> bounds);
+  void record(std::uint64_t v) noexcept;
+
+ private:
+  std::uint32_t id_;
+  std::vector<std::uint64_t> bounds_;  ///< copy; keeps record() lock-free
+};
+
+inline constexpr std::size_t kMaxHistogramBounds = 15;
+
+/// Merged view of every registered metric at one instant.
+struct Snapshot {
+  struct Hist {
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;  ///< max across threads
+  std::map<std::string, Hist> histograms;
+};
+
+/// Merges all live shards and retired totals. Safe to call concurrently
+/// with writers (relaxed reads; the result is a consistent-enough view,
+/// exact once writers are quiescent).
+[[nodiscard]] Snapshot snapshot();
+
+/// snapshot() rendered as a JSON object with sorted keys:
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+void write_snapshot_json(std::ostream& os);
+[[nodiscard]] std::string snapshot_json();
+
+/// Zeroes every slot (live shards and retired totals) without touching
+/// registrations. Test-only: callers must be quiescent.
+void reset_for_test();
+
+}  // namespace hm::telemetry

@@ -1,0 +1,145 @@
+#include "telemetry/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hm::telemetry {
+
+namespace {
+
+struct Event {
+  const char* name;
+  long long start_ns;
+  long long dur_ns;
+};
+
+/// One thread's event buffer. The owning thread appends under the buffer's
+/// own mutex (uncontended in steady state — only trace_stop ever takes it
+/// from another thread); shared_ptr keeps the buffer alive for the final
+/// drain even after its thread exits.
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;  ///< guards path/bufs/next_tid and start/stop transitions
+  std::atomic<bool> armed{false};
+  std::chrono::steady_clock::time_point base;
+  std::string path;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  int next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;  // leaked: see Registry in telemetry.cpp
+  return *s;
+}
+
+ThreadBuf& local_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    b->tid = s.next_tid++;
+    s.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+long long now_ns(const TraceState& s) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - s.base)
+      .count();
+}
+
+/// HM_TRACE_FILE arms a process-lifetime trace written at exit.
+[[maybe_unused]] const bool g_env_armed = [] {
+  const char* path = std::getenv("HM_TRACE_FILE");
+  if (path != nullptr && path[0] != '\0') {
+    trace_start(path);
+    std::atexit([] { trace_stop(); });
+  }
+  return true;
+}();
+
+}  // namespace
+
+bool tracing() noexcept {
+  // Acquire pairs with the release store in trace_start so a thread that
+  // observes armed also observes the new time base.
+  return state().armed.load(std::memory_order_acquire);
+}
+
+bool trace_start(const std::string& path) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.armed.load(std::memory_order_relaxed)) return false;
+  s.path = path;
+  s.base = std::chrono::steady_clock::now();
+  for (auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+  }
+  s.armed.store(true, std::memory_order_release);
+  return true;
+}
+
+bool trace_stop() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.armed.load(std::memory_order_relaxed)) return false;
+  s.armed.store(false, std::memory_order_release);
+
+  std::ofstream os(s.path);
+  if (!os) {
+    std::fprintf(stderr, "telemetry: cannot write trace file %s\n",
+                 s.path.c_str());
+    return false;
+  }
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  char num[32];
+  for (auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    for (const Event& e : b->events) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "{\"name\": \"" << e.name << "\", \"cat\": \"hm\", \"ph\": \"X\"";
+      std::snprintf(num, sizeof(num), "%.3f",
+                    static_cast<double>(e.start_ns) / 1000.0);
+      os << ", \"ts\": " << num;
+      std::snprintf(num, sizeof(num), "%.3f",
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      os << ", \"dur\": " << num << ", \"pid\": 1, \"tid\": " << b->tid
+         << "}";
+    }
+    b->events.clear();
+  }
+  os << "\n]}\n";
+  return true;
+}
+
+Span::Span(const char* name) noexcept : name_(name), start_ns_(-1) {
+  if (!tracing()) return;
+  start_ns_ = now_ns(state());
+}
+
+Span::~Span() {
+  if (start_ns_ < 0 || !tracing()) return;
+  TraceState& s = state();
+  const long long end = now_ns(s);
+  ThreadBuf& b = local_buf();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.events.push_back({name_, start_ns_, end - start_ns_});
+}
+
+}  // namespace hm::telemetry

@@ -1,0 +1,60 @@
+// Scoped-span tracer emitting Chrome trace_event JSON.
+//
+// Spans are RAII: construct at scope entry, the destructor records one
+// complete "X" (duration) event into the calling thread's buffer. The
+// resulting file loads directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing:
+//
+//   {"traceEvents": [
+//     {"name": "sweep.job", "cat": "hm", "ph": "X",
+//      "ts": 1234.5, "dur": 87.2, "pid": 1, "tid": 2},
+//     ...
+//   ]}
+//
+// Events are appended when a span *ends*, so file order is end-time
+// order, not start-time order; viewers (and tools/check_trace.py) sort by
+// ts per tid. Timestamps are microseconds on the steady clock, zeroed at
+// trace_start(). tid is a small stable per-thread index assigned on the
+// thread's first traced span, not the OS thread id.
+//
+// Same non-perturbation contract as the metrics registry: a span never
+// touches simulation state, and when tracing is off the entire cost is
+// one relaxed atomic load in the constructor.
+//
+// Arming: trace_start(path)/trace_stop() programmatically (the examples'
+// --trace flag), or HM_TRACE_FILE=<path> in the environment, which arms
+// at startup and writes the file at process exit.
+#pragma once
+
+#include <string>
+
+namespace hm::telemetry {
+
+/// True while a trace is being recorded.
+[[nodiscard]] bool tracing() noexcept;
+
+/// Starts recording into an in-memory buffer destined for `path`.
+/// Returns false (and changes nothing) when a trace is already active.
+bool trace_start(const std::string& path);
+
+/// Stops recording and writes the JSON file. Returns false when no trace
+/// was active or the file could not be written. Threads may still be
+/// inside spans; their events simply miss the file (complete events are
+/// only recorded at span end).
+bool trace_stop();
+
+/// RAII span: one complete "X" event from construction to destruction.
+/// `name` must outlive the span (string literals at the call sites).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  long long start_ns_;  ///< -1 = tracing was off at construction
+};
+
+}  // namespace hm::telemetry

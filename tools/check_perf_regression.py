@@ -40,7 +40,7 @@ GUARDED_KEYS = ("sweep21.wall_s.t1",)
 # Compared and reported, but never fail the gate (first-PR baselines).
 # Ratio-style search metrics where *lower* is the regression direction are
 # listed separately so the warning fires the right way around.
-WARN_PREFIXES = ("search.",)
+WARN_PREFIXES = ("search.", "telemetry.")
 WARN_HIGHER_IS_BETTER = ("search.rebuild_speedup.", "search.best_over_baseline.",
                          "search.e2e_evals_per_s.",
                          "search.tempering.best_over_baseline.",

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Reconstruct the perf trajectory of BENCH_perf.json across the git history.
+
+Every PR refreshes BENCH_perf.json (bench_search / bench_perf_micro merge
+their metrics into it), so the file's git history *is* the perf trajectory
+of the hot paths — one sample per commit that touched it. This tool walks
+`git log -- BENCH_perf.json`, loads the file at each revision with
+`git show`, and emits the per-key series oldest-first as CSV (machine
+side) and/or a markdown table (PR-comment side). Stdlib only; runs
+anywhere git runs.
+
+Usage:
+  plot_bench_history.py                         # markdown to stdout
+  plot_bench_history.py --csv history.csv       # full trajectory CSV
+  plot_bench_history.py --key sim_cycle.n91_ns  # restrict to keys
+  plot_bench_history.py --markdown report.md --max-commits 20
+
+A key's row shows first/last value and the overall change, so a slow
+regression that every single-PR gate missed still shows up here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+BENCH_FILE = "BENCH_perf.json"
+
+
+def run_git(args: list, repo: str) -> str:
+    res = subprocess.run(["git", "-C", repo] + args, capture_output=True,
+                         text=True)
+    if res.returncode != 0:
+        raise RuntimeError(f"git {' '.join(args)}: {res.stderr.strip()}")
+    return res.stdout
+
+
+def parse_bench(text: str) -> dict:
+    """BENCH_perf.json is a flat {"key": number} object written by
+    bench/perf_json.hpp; parse it leniently line by line (the C++ side
+    writes one '  "key": value,' pair per line)."""
+    out = {}
+    for line in text.splitlines():
+        line = line.strip().rstrip(",")
+        if not line.startswith('"') or ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip().strip('"')
+        try:
+            out[key] = float(value.strip())
+        except ValueError:
+            continue
+    return out
+
+
+def collect_history(repo: str, max_commits: int) -> list:
+    """[(short_sha, subject, {key: value})], oldest first."""
+    log = run_git(["log", "--format=%h%x09%s", "--", BENCH_FILE], repo)
+    commits = [line.split("\t", 1) for line in log.splitlines() if line]
+    commits.reverse()
+    if max_commits > 0:
+        commits = commits[-max_commits:]
+    history = []
+    for sha, subject in commits:
+        try:
+            text = run_git(["show", f"{sha}:{BENCH_FILE}"], repo)
+        except RuntimeError:
+            continue  # commit deleted the file
+        metrics = parse_bench(text)
+        if metrics:
+            history.append((sha, subject, metrics))
+    return history
+
+
+def write_csv(history: list, keys: list, out) -> None:
+    out.write("commit,subject," + ",".join(keys) + "\n")
+    for sha, subject, metrics in history:
+        subject = subject.replace('"', '""')
+        cells = [sha, f'"{subject}"']
+        cells += [repr(metrics[k]) if k in metrics else "" for k in keys]
+        out.write(",".join(cells) + "\n")
+
+
+def write_markdown(history: list, keys: list, out) -> None:
+    out.write(f"# {BENCH_FILE} trajectory ({len(history)} commits)\n\n")
+    out.write("| key | first | last | change | samples |\n")
+    out.write("|---|---:|---:|---:|---:|\n")
+    for key in keys:
+        series = [(sha, m[key]) for sha, _, m in history if key in m]
+        if not series:
+            continue
+        first, last = series[0][1], series[-1][1]
+        if first != 0:
+            change = f"{100.0 * (last - first) / first:+.1f}%"
+        else:
+            change = "n/a"
+        out.write(f"| `{key}` | {first:g} | {last:g} | {change} "
+                  f"| {len(series)} |\n")
+    out.write("\nOldest sample: `%s` — %s\n" % (history[0][0],
+                                                history[0][1]))
+    out.write("Newest sample: `%s` — %s\n" % (history[-1][0],
+                                              history[-1][1]))
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument("--csv", help="write the full trajectory CSV here")
+    ap.add_argument("--markdown",
+                    help="write the summary table here (default: stdout)")
+    ap.add_argument("--key", action="append", default=[],
+                    help="restrict to these metric keys (repeatable; "
+                         "prefix match when ending with '.')")
+    ap.add_argument("--max-commits", type=int, default=0,
+                    help="newest N commits only (0 = all)")
+    args = ap.parse_args()
+
+    try:
+        history = collect_history(args.repo, args.max_commits)
+    except RuntimeError as exc:
+        print(f"plot_bench_history: {exc}", file=sys.stderr)
+        sys.exit(1)
+    if not history:
+        print(f"plot_bench_history: no {BENCH_FILE} history found",
+              file=sys.stderr)
+        sys.exit(1)
+
+    all_keys = sorted({k for _, _, m in history for k in m})
+    if args.key:
+        def selected(key: str) -> bool:
+            return any(key == want or (want.endswith(".") and
+                                       key.startswith(want))
+                       for want in args.key)
+        keys = [k for k in all_keys if selected(k)]
+        if not keys:
+            print(f"plot_bench_history: no keys match {args.key} "
+                  f"(available: {', '.join(all_keys)})", file=sys.stderr)
+            sys.exit(1)
+    else:
+        keys = all_keys
+
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            write_csv(history, keys, fh)
+        print(f"plot_bench_history: wrote {args.csv} "
+              f"({len(history)} commits x {len(keys)} keys)")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            write_markdown(history, keys, fh)
+        print(f"plot_bench_history: wrote {args.markdown}")
+    if not args.csv and not args.markdown:
+        write_markdown(history, keys, sys.stdout)
+
+
+if __name__ == "__main__":
+    main()
