@@ -102,8 +102,12 @@ void bench_tables() {
 }
 
 void bench_simulator_cycles() {
-  // Cycle rate of a saturated HexaMesh network (routers + endpoints).
-  for (const std::size_t n : {std::size_t{19}, std::size_t{91}}) {
+  // Cycle rate of a saturated HexaMesh network (routers + endpoints). Under
+  // saturation nearly everything is busy, so this measures the worklist
+  // machinery's overhead rather than its skipping wins (those show up in
+  // bench_simulator_lowload).
+  for (const std::size_t n :
+       {std::size_t{19}, std::size_t{91}, std::size_t{271}}) {
     const auto arr = make_arrangement(ArrangementType::kHexaMesh, n);
     hm::noc::SimConfig cfg;
     const auto topo = hm::noc::TopologyContext::acquire(arr.graph());
@@ -112,20 +116,94 @@ void bench_simulator_cycles() {
                                           cfg.packet_length);
     hm::noc::Rng rng(1);
     hm::noc::Cycle now = 0;
-    const int cycles_per_rep = g_smoke ? 2000 : 20000;
+    const int cycles_per_rep =
+        n >= 271 ? (g_smoke ? 500 : 3000) : (g_smoke ? 2000 : 20000);
     auto run = [&] {
       for (int c = 0; c < cycles_per_rep; ++c) {
         for (std::size_t e = 0; e < sim.network().num_endpoints(); ++e) {
           auto p =
               traffic.maybe_generate(static_cast<std::uint16_t>(e), now, rng);
-          if (p.has_value()) sim.network().endpoint(e).try_enqueue(*p);
+          if (p.has_value()) sim.network().offer_packet(e, *p);
         }
-        sim.network().step(now, rng);
+        sim.network().step(now);
         ++now;
       }
     };
     report("sim_cycle.n" + std::to_string(n),
            time_median(run, g_smoke ? 0.05 : 0.5, 3), cycles_per_rep);
+  }
+}
+
+void bench_simulator_lowload() {
+  // Full low-load latency probes (the zero-load half of every evaluation):
+  // per-cycle cost of the skip-idle stepper vs the dense reference sweep,
+  // plus the headline speedup ratio. The probe rate keeps the *network*
+  // load genuinely low: at N >= 91 the evaluator's default per-endpoint
+  // rate of 0.01 already drives several flits/cycle aggregate (hundreds of
+  // endpoints), which keeps ~30% of routers busy and measures mostly the
+  // shared busy-path cost. 0.002 flits/cycle/endpoint is the regime the
+  // active-set stepping is for — almost every component idle almost every
+  // cycle.
+  for (const std::size_t n : {std::size_t{91}, std::size_t{271}}) {
+    const auto arr = make_arrangement(ArrangementType::kHexaMesh, n);
+    const auto topo = hm::noc::TopologyContext::acquire(arr.graph());
+    const hm::noc::Cycle warmup = g_smoke ? 300 : 1000;
+    const hm::noc::Cycle measure = g_smoke ? 600 : 3000;
+    const std::string suffix = ".n" + std::to_string(n);
+
+    double per_cycle_s[2] = {0.0, 0.0};
+    for (const bool skip_idle : {true, false}) {
+      hm::noc::SimConfig cfg;
+      cfg.skip_idle = skip_idle;
+      double cycles = 1.0;
+      auto run = [&] {
+        hm::noc::Simulator sim(topo, cfg);
+        (void)sim.run_latency(0.002, warmup, measure, 60000);
+        cycles = static_cast<double>(sim.now());
+      };
+      const double per_run =
+          time_median(run, g_smoke ? 0.05 : 0.4, g_smoke ? 2 : 3);
+      per_cycle_s[skip_idle ? 0 : 1] = per_run / cycles;
+      report(skip_idle ? "sim_cycle_lowload" + suffix
+                       : "sim_cycle_lowload.dense" + suffix,
+             per_run, cycles);
+    }
+    const double speedup =
+        per_cycle_s[0] > 0.0 ? per_cycle_s[1] / per_cycle_s[0] : 1.0;
+    std::printf("%-36s %12.2f x\n",
+                ("sim_cycle_lowload.speedup" + suffix).c_str(), speedup);
+    // A ratio, not a duration: recorded without report()'s "_ns" suffix.
+    g_metrics["sim_cycle_lowload.speedup" + suffix] = speedup;
+  }
+}
+
+void bench_saturation_probes() {
+  // Probe count of the saturation search, plain bisection vs the
+  // analytically-seeded surrogate gallop (both return the same rate;
+  // test_active_set pins that — this tracks the probe budget).
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh, 37);
+  const auto topo = hm::noc::TopologyContext::acquire(arr.graph());
+  hm::noc::SimConfig cfg;
+  hm::noc::SaturationSearchOptions opts;
+  opts.warmup = 400;
+  opts.measure = 400;
+
+  const auto plain = hm::noc::find_saturation(topo, cfg, opts);
+  g_metrics["sat.probes.plain.n37"] = static_cast<double>(plain.probes);
+
+  // Same analytic estimate evaluate() wires in.
+  const hm::core::EvaluationParams eval_params;
+  opts.surrogate_rate = hm::core::analytic_saturation_estimate(
+      hm::core::evaluate_analytic(arr, eval_params), eval_params);
+  const auto pruned = hm::noc::find_saturation(topo, cfg, opts);
+  g_metrics["sat.probes.surrogate.n37"] = static_cast<double>(pruned.probes);
+
+  std::printf("%-36s %12d probes\n", "sat.probes.plain.n37", plain.probes);
+  std::printf("%-36s %12d probes\n", "sat.probes.surrogate.n37",
+              pruned.probes);
+  if (plain.saturation_flit_rate != pruned.saturation_flit_rate) {
+    std::printf("WARNING: surrogate search diverged from plain (%f vs %f)\n",
+                pruned.saturation_flit_rate, plain.saturation_flit_rate);
   }
 }
 
@@ -191,6 +269,8 @@ int main(int argc, char** argv) {
   bench_graph();
   bench_tables();
   bench_simulator_cycles();
+  bench_simulator_lowload();
+  bench_saturation_probes();
   bench_evaluate_analytic();
   bench_telemetry_overhead();
   hm::bench::update_perf_json(g_metrics);

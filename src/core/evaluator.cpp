@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "core/proxies.hpp"
@@ -32,6 +34,35 @@ double link_area_for(const Arrangement& arr, double chiplet_area_mm2,
 
 namespace {
 
+/// bisection_width memoized on the graph's content digest. The partitioner
+/// is deterministic (fixed seed, fixed start count), so equal graphs always
+/// produce equal cuts — and search loops re-evaluate the same arrangement
+/// graphs constantly (tempering replicas, warm-started sweeps), where the
+/// multilevel bisection dominates evaluate_analytic. Computation happens
+/// outside the lock: a racing duplicate is wasted work, never a wrong value.
+std::size_t cached_bisection_width(const graph::Graph& g) {
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::size_t> cache;
+
+  const std::uint64_t key = noc::graph_digest(g);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (const auto it = cache.find(key); it != cache.end()) {
+      return it->second;
+    }
+  }
+  const std::size_t width = partition::bisection_width(g);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    // Crude bound on memory: a long-running multi-sweep process visits an
+    // unbounded stream of candidate graphs. Dropping everything is fine —
+    // this is a pure cache and refills in one evaluation wave.
+    if (cache.size() >= 4096) cache.clear();
+    cache.emplace(key, width);
+  }
+  return width;
+}
+
 void fill_analytic(const Arrangement& arr, const EvaluationParams& params,
                    EvaluationResult& r) {
   const std::size_t n = arr.chiplet_count();
@@ -47,7 +78,7 @@ void fill_analytic(const Arrangement& arr, const EvaluationParams& params,
     r.bisection_links = static_cast<std::size_t>(
         std::llround(analytic_bisection(arr.type(), n)));
   } else if (n >= 2) {
-    r.bisection_links = partition::bisection_width(arr.graph());
+    r.bisection_links = cached_bisection_width(arr.graph());
   } else {
     r.bisection_links = 0;
   }
@@ -75,6 +106,30 @@ EvaluationResult evaluate_analytic(const Arrangement& arr,
   EvaluationResult r;
   fill_analytic(arr, params, r);
   return r;
+}
+
+double analytic_saturation_estimate(const EvaluationResult& r,
+                                    const EvaluationParams& params) {
+  const double endpoints_total =
+      static_cast<double>(r.chiplet_count) *
+      static_cast<double>(params.sim.endpoints_per_chiplet);
+  if (endpoints_total <= 0.0 || r.avg_hop_distance <= 0.0) return 0.0;
+  // Uniform traffic: half of all flits cross the bisection, split evenly
+  // over the two directions, each served by B one-flit/cycle channels ->
+  // rate <= 4*B/E. Channel capacity: each flit occupies avg_hop_distance
+  // channel-cycles of the 2*L directed channels -> rate <= 2*L/(E*h_avg).
+  const double bisection_bound =
+      4.0 * static_cast<double>(r.bisection_links) / endpoints_total;
+  const double channel_bound = 2.0 * static_cast<double>(r.link_count) /
+                               (endpoints_total * r.avg_hop_distance);
+  // Measured knee / min(bound) sits at 0.68-0.88 across the stock families
+  // (0.70 +- 0.02 for HexaMesh N in [19, 91]); 0.71 lands the estimate
+  // within a few dyadic grid steps of the knee everywhere measured, which
+  // is what keeps the surrogate gallop at <= 6 probes (test_active_set and
+  // bench_perf_micro's sat.probes keys pin this empirically).
+  constexpr double kRouterEfficiency = 0.71;
+  return std::clamp(
+      kRouterEfficiency * std::min(bisection_bound, channel_bound), 0.0, 1.0);
 }
 
 EvaluationResult evaluate(const Arrangement& arr,
@@ -142,6 +197,10 @@ EvaluationResult evaluate_simulation(
     noc::SaturationSearchOptions search;
     search.warmup = params.throughput_warmup;
     search.measure = params.throughput_measure;
+    // Seed the search with the analytic saturation estimate so a good
+    // estimate needs ~3 probes instead of ~7. A bad estimate costs extra
+    // probes, never a different answer.
+    search.surrogate_rate = analytic_saturation_estimate(r, params);
     const auto sat =
         noc::find_saturation(topology, params.sim, search, traffic,
                              executor);

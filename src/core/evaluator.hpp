@@ -98,6 +98,18 @@ struct EvaluationResult {
 [[nodiscard]] EvaluationResult evaluate_analytic(
     const Arrangement& arr, const EvaluationParams& params = {});
 
+/// Analytic saturation estimate in [0, 1] for
+/// noc::SaturationSearchOptions::surrogate_rate, from the analytic fields
+/// of `r` (bisection_links, link_count, avg_hop_distance, chiplet_count):
+/// the tighter of the uniform-traffic bisection bound and the
+/// channel-capacity bound on the per-endpoint flit rate, scaled by an
+/// empirical input-queued-router efficiency. Only a search seed — a poor
+/// estimate costs the saturation search extra probes, never a different
+/// answer. Returns 0 when the fields needed are missing/degenerate (the
+/// search then gallops up from the bottom of the grid).
+[[nodiscard]] double analytic_saturation_estimate(
+    const EvaluationResult& r, const EvaluationParams& params);
+
 /// Full evaluation including the cycle-accurate simulations (Fig. 7).
 /// Requires >= 2 chiplets (a 1-chiplet design has no ICI to simulate).
 ///

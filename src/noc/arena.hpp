@@ -16,9 +16,11 @@
 //
 // Correctness contract, pinned by test_arena: a probe on a reset arena
 // network is bit-identical to the same probe on a fresh Network. The RNG
-// seed is deliberately not part of the reuse key (it lives in the
-// Simulator's Rng, never in Network state), so consecutive probes of a
-// sweep job hit the arena even when per-job/per-probe seeds differ.
+// seed is deliberately not part of the reuse key — the Simulator re-seeds
+// the leased network's per-router RNG streams via Network::seed_rngs, so
+// no seed-dependent state survives a lease — and consecutive probes of a
+// sweep job therefore hit the arena even when per-job/per-probe seeds
+// differ.
 #pragma once
 
 #include <cstdint>

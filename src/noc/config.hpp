@@ -49,6 +49,11 @@ struct SimConfig {
   /// high-radix (degree-6) brickwall/HexaMesh routers.
   int sa_iterations = 2;
   RoutingMode routing = RoutingMode::kMinimalAdaptive;
+  /// Active-set stepping: Network::step walks only routers/links/endpoints
+  /// that can make progress this cycle instead of sweeping every component.
+  /// Results are bit-identical to the dense sweep (test_active_set pins
+  /// this); the dense mode remains as the reference implementation.
+  bool skip_idle = true;
   unsigned long long seed = 42;     ///< RNG seed (fully deterministic runs)
 
   /// Memberwise equality (keeps the arena key honest when fields are added:
@@ -57,9 +62,9 @@ struct SimConfig {
                                        const SimConfig&) = default;
 
   /// True when `other` builds a bit-identical Network structure: everything
-  /// but the RNG seed matches (the seed drives traffic and arbitration
-  /// draws, which live in the Simulator's Rng, not in the Network). This is
-  /// the SimulationArena reuse key.
+  /// but the RNG seed matches. The seed drives traffic and per-router
+  /// arbitration streams; Simulator re-seeds a leased network's routers via
+  /// Network::seed_rngs, so it stays out of the SimulationArena reuse key.
   [[nodiscard]] bool same_structure(const SimConfig& other) const {
     SimConfig a = *this;
     a.seed = other.seed;

@@ -80,7 +80,7 @@ void Endpoint::inject(Cycle now) {
   }
 }
 
-void Endpoint::receive_flit(const Flit& f, Cycle now) {
+bool Endpoint::receive_flit(const Flit& f, Cycle now) {
   ++sink_.flits_ejected;
   if (f.tail) {
     const PacketRecord& rec = (*packets_)[f.packet_id];
@@ -90,8 +90,10 @@ void Endpoint::receive_flit(const Flit& f, Cycle now) {
       ++sink_.tagged_packets;
       sink_.tagged_latency_sum +=
           static_cast<std::uint64_t>(now - rec.gen_time);
+      return true;
     }
   }
+  return false;
 }
 
 void Endpoint::set_measurement_window(Cycle begin, Cycle end) {

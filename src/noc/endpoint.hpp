@@ -51,8 +51,11 @@ class Endpoint {
   /// Sends at most one flit of the packet currently being serialized.
   void inject(Cycle now);
 
-  /// Sink: consumes an ejected flit (infinite acceptance).
-  void receive_flit(const Flit& f, Cycle now);
+  /// Sink: consumes an ejected flit (infinite acceptance). Returns true
+  /// when the flit completed a packet generated inside the measurement
+  /// window (the Network keeps an O(1) tagged-delivery counter from this,
+  /// so drain loops stop scanning every endpoint per cycle).
+  bool receive_flit(const Flit& f, Cycle now);
 
   /// Sets the measurement window [begin, end): packets with gen_time inside
   /// it contribute to tagged latency stats on delivery.

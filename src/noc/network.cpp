@@ -1,5 +1,6 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hm::noc {
@@ -33,6 +34,12 @@ Network::Network(std::shared_ptr<const TopologyContext> topo,
   // push per cycle; older entries have been delivered), so pre-size to that.
   const auto directed = topo_->directed_links();
   links_.resize(directed.size());
+  out_flit_target_.resize(n);
+  in_credit_target_.resize(n);
+  for (graph::NodeId r = 0; r < n; ++r) {
+    out_flit_target_[r].assign(routers_[r].total_ports(), 0xFFFFFFFFu);
+    in_credit_target_[r].assign(routers_[r].total_ports(), 0xFFFFFFFFu);
+  }
   for (std::size_t i = 0; i < directed.size(); ++i) {
     const auto& d = directed[i];
     RouterLink& link = links_[i];
@@ -46,6 +53,12 @@ Network::Network(std::shared_ptr<const TopologyContext> topo,
                                     cfg_.link_latency);
     routers_[link.to].wire_credit_return(link.in_port_at_to, &link.credits,
                                          cfg_.link_latency);
+    // A step of either end can (re-)fill this link: `from` pushes flits,
+    // `to` pushes credit returns.
+    out_flit_target_[link.from][link.out_port_at_from] =
+        static_cast<std::uint32_t>(i);
+    in_credit_target_[link.to][link.in_port_at_to] =
+        static_cast<std::uint32_t>(i);
   }
 
   // Endpoints and their injection/ejection channels.
@@ -70,10 +83,43 @@ Network::Network(std::shared_ptr<const TopologyContext> topo,
                                         cfg_.injection_link_latency);
     routers_[router].wire_output(port, &chans.ejection,
                                  cfg_.ejection_link_latency);
+    out_flit_target_[router][port] = kChanBit | static_cast<std::uint32_t>(e);
+    in_credit_target_[router][port] = kChanBit | static_cast<std::uint32_t>(e);
   }
+
+  // Worklist storage: membership flags plus capacity for the worst case
+  // (every component active) so arming never allocates mid-run.
+  link_active_.assign(links_.size(), 0);
+  chan_active_.assign(ep_channels_.size(), 0);
+  router_active_.assign(routers_.size(), 0);
+  ep_active_.assign(endpoints_.size(), 0);
+  active_links_.reserve(links_.size());
+  active_chans_.reserve(ep_channels_.size());
+  active_routers_.reserve(routers_.size());
+  active_eps_.reserve(endpoints_.size());
 }
 
-void Network::step(Cycle now, Rng& rng) {
+bool Network::offer_packet(std::size_t e, const Packet& p) {
+  if (!endpoints_[e].try_enqueue(p)) return false;
+  arm(active_eps_, ep_active_, e);
+  return true;
+}
+
+void Network::seed_rngs(std::uint64_t base) {
+  cfg_.seed = base;
+  for (auto& r : routers_) r.seed_rng(base);
+}
+
+void Network::step(Cycle now) {
+  if (cfg_.skip_idle) {
+    step_active(now);
+  } else {
+    step_dense(now);
+  }
+  ++cycles_stepped_;
+}
+
+void Network::step_dense(Cycle now) {
   // 1. Deliver everything arriving this cycle.
   for (auto& link : links_) {
     while (link.flits.ready(now)) {
@@ -97,7 +143,9 @@ void Network::step(Cycle now, Rng& rng) {
       endpoints_[e].receive_credit(chans.inj_credits.pop());
     }
     while (chans.ejection.ready(now)) {
-      endpoints_[e].receive_flit(chans.ejection.pop(), now);
+      if (endpoints_[e].receive_flit(chans.ejection.pop(), now)) {
+        ++tagged_delivered_;
+      }
     }
   }
 
@@ -105,7 +153,167 @@ void Network::step(Cycle now, Rng& rng) {
   for (auto& ep : endpoints_) ep.inject(now);
 
   // 3. Routers advance.
-  for (auto& r : routers_) r.step(now, rng);
+  for (auto& r : routers_) r.step(now);
+  router_steps_ += routers_.size();
+  if (routers_.size() > active_router_hwm_) {
+    active_router_hwm_ = routers_.size();
+  }
+}
+
+void Network::step_active(Cycle now) {
+  // Identical per-component operations and phase order as step_dense; only
+  // components that can make progress are visited. Correctness rests on two
+  // facts pinned by test_active_set: (a) a step / delivery sweep of an idle
+  // component is an observable no-op (idle routers draw no RNG and mutate
+  // nothing; empty channels deliver nothing; endpoints with empty queues
+  // inject nothing), and (b) within a phase, operations on distinct
+  // components commute (each delivery/step touches disjoint state), so the
+  // worklist order standing in for index order cannot change the outcome.
+  const std::size_t eps = static_cast<std::size_t>(cfg_.endpoints_per_chiplet);
+
+  // 1a. Deliver link arrivals; drop drained links from the worklist.
+  for (std::size_t i = 0; i < active_links_.size();) {
+    const std::uint32_t li = active_links_[i];
+    RouterLink& link = links_[li];
+    while (link.flits.ready(now)) {
+      routers_[link.to].receive_flit(link.in_port_at_to, link.flits.pop(),
+                                     now);
+      arm(active_routers_, router_active_, link.to);
+    }
+    while (link.credits.ready(now)) {
+      // Credits top up output-VC counters but cannot start progress on
+      // their own: any flit waiting for them is buffered downstream-side,
+      // which already keeps its router on the worklist.
+      routers_[link.from].receive_credit(link.out_port_at_from,
+                                         link.credits.pop());
+    }
+    if (link.flits.in_flight() == 0 && link.credits.in_flight() == 0) {
+      link_active_[li] = 0;
+      active_links_[i] = active_links_.back();
+      active_links_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // 1b. Deliver endpoint-channel arrivals.
+  for (std::size_t i = 0; i < active_chans_.size();) {
+    const std::uint32_t e = active_chans_[i];
+    EndpointChannels& chans = ep_channels_[e];
+    const std::size_t router = e / eps;
+    const std::size_t port = routers_[router].network_ports() + e % eps;
+    while (chans.injection.ready(now)) {
+      routers_[router].receive_flit(port, chans.injection.pop(), now);
+      arm(active_routers_, router_active_, router);
+    }
+    while (chans.inj_credits.ready(now)) {
+      // An endpoint with queued packets is already on the worklist; one
+      // with an empty queue has no use for the credit until new traffic
+      // arrives (offer_packet arms it then).
+      endpoints_[e].receive_credit(chans.inj_credits.pop());
+    }
+    while (chans.ejection.ready(now)) {
+      if (endpoints_[e].receive_flit(chans.ejection.pop(), now)) {
+        ++tagged_delivered_;
+      }
+    }
+    if (chans.injection.in_flight() == 0 &&
+        chans.inj_credits.in_flight() == 0 &&
+        chans.ejection.in_flight() == 0) {
+      chan_active_[e] = 0;
+      active_chans_[i] = active_chans_.back();
+      active_chans_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // 2. Endpoints with queued packets inject; drop drained queues.
+  for (std::size_t i = 0; i < active_eps_.size();) {
+    const std::uint32_t e = active_eps_[i];
+    endpoints_[e].inject(now);
+    if (ep_channels_[e].injection.in_flight() > 0) {
+      arm(active_chans_, chan_active_, e);
+    }
+    if (endpoints_[e].queue_length() == 0) {
+      ep_active_[e] = 0;
+      active_eps_[i] = active_eps_.back();
+      active_eps_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // 3. Routers with buffered flits advance; arm whatever they pushed into,
+  // drop the ones that drained.
+  router_steps_ += active_routers_.size();
+  if (active_routers_.size() > active_router_hwm_) {
+    active_router_hwm_ = active_routers_.size();
+  }
+  for (std::size_t i = 0; i < active_routers_.size();) {
+    const std::uint32_t r = active_routers_[i];
+    routers_[r].step(now);
+    // Arm exactly what this step pushed: the SA scratch records which out
+    // ports sent a flit and which in ports granted (and so returned a
+    // credit); the target tables map those ports straight to worklist
+    // entries. Channels still carrying older traffic are already armed —
+    // a channel only leaves its worklist when fully drained.
+    const std::vector<char>& outs = routers_[r].out_ports_pushed();
+    const std::vector<char>& ins = routers_[r].in_ports_granted();
+    for (std::size_t p = 0; p < outs.size(); ++p) {
+      if (outs[p] != 0) {
+        const std::uint32_t t = out_flit_target_[r][p];
+        if ((t & kChanBit) != 0) {
+          arm(active_chans_, chan_active_, t & ~kChanBit);
+        } else {
+          arm(active_links_, link_active_, t);
+        }
+      }
+      if (ins[p] != 0) {
+        const std::uint32_t t = in_credit_target_[r][p];
+        if ((t & kChanBit) != 0) {
+          arm(active_chans_, chan_active_, t & ~kChanBit);
+        } else {
+          arm(active_links_, link_active_, t);
+        }
+      }
+    }
+    if (routers_[r].buffered_flit_count() == 0) {
+      router_active_[r] = 0;
+      active_routers_[i] = active_routers_.back();
+      active_routers_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Network::quiescent() const {
+  if (cfg_.skip_idle) {
+    // The worklists are exact between steps: empty lists == nothing
+    // buffered, queued or in flight anywhere.
+    return active_links_.empty() && active_chans_.empty() &&
+           active_routers_.empty() && active_eps_.empty();
+  }
+  for (const auto& r : routers_) {
+    if (r.buffered_flit_count() != 0) return false;
+  }
+  for (const auto& link : links_) {
+    if (link.flits.in_flight() != 0 || link.credits.in_flight() != 0) {
+      return false;
+    }
+  }
+  for (const auto& chans : ep_channels_) {
+    if (chans.injection.in_flight() != 0 ||
+        chans.inj_credits.in_flight() != 0 ||
+        chans.ejection.in_flight() != 0) {
+      return false;
+    }
+  }
+  for (const auto& ep : endpoints_) {
+    if (ep.queue_length() != 0) return false;
+  }
+  return true;
 }
 
 void Network::reset() {
@@ -121,6 +329,18 @@ void Network::reset() {
   for (auto& r : routers_) r.reset();
   for (auto& ep : endpoints_) ep.reset();
   packets_.clear();
+  active_links_.clear();
+  active_chans_.clear();
+  active_routers_.clear();
+  active_eps_.clear();
+  std::fill(link_active_.begin(), link_active_.end(), 0);
+  std::fill(chan_active_.begin(), chan_active_.end(), 0);
+  std::fill(router_active_.begin(), router_active_.end(), 0);
+  std::fill(ep_active_.begin(), ep_active_.end(), 0);
+  tagged_delivered_ = 0;
+  active_router_hwm_ = 0;
+  router_steps_ = 0;
+  cycles_stepped_ = 0;
 }
 
 std::size_t Network::flits_in_network() const {
@@ -161,6 +381,9 @@ Network::HotStats Network::hot_stats() const {
       out.source_queue_hwm = ep.queue_hwm();
     }
   }
+  out.active_router_hwm = active_router_hwm_;
+  out.router_steps = router_steps_;
+  out.cycles_stepped = cycles_stepped_;
   return out;
 }
 
@@ -172,6 +395,42 @@ bool Network::invariants_ok(std::string* why) const {
       total_flits_ejected() + flits_in_network()) {
     if (why != nullptr) *why = "flit conservation violated";
     return false;
+  }
+  if (cfg_.skip_idle) {
+    // Worklist exactness between steps: a component holds work iff its
+    // membership flag is set. Catches both a dropped arming (work that
+    // would never be stepped again) and direct endpoint().try_enqueue()
+    // misuse that bypasses offer_packet.
+    auto fail = [&](const char* msg) {
+      if (why != nullptr) *why = msg;
+      return false;
+    };
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+      if ((routers_[r].buffered_flit_count() > 0) !=
+          (router_active_[r] != 0)) {
+        return fail("active-set router flag out of sync");
+      }
+    }
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const bool busy = links_[i].flits.in_flight() != 0 ||
+                        links_[i].credits.in_flight() != 0;
+      if (busy != (link_active_[i] != 0)) {
+        return fail("active-set link flag out of sync");
+      }
+    }
+    for (std::size_t e = 0; e < ep_channels_.size(); ++e) {
+      const bool busy = ep_channels_[e].injection.in_flight() != 0 ||
+                        ep_channels_[e].inj_credits.in_flight() != 0 ||
+                        ep_channels_[e].ejection.in_flight() != 0;
+      if (busy != (chan_active_[e] != 0)) {
+        return fail("active-set channel flag out of sync");
+      }
+    }
+    for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+      if ((endpoints_[e].queue_length() > 0) != (ep_active_[e] != 0)) {
+        return fail("active-set endpoint flag out of sync");
+      }
+    }
   }
   return true;
 }

@@ -43,7 +43,37 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Executes one cycle: channel delivery, endpoint injection, router step.
-  void step(Cycle now, Rng& rng);
+  /// With cfg.skip_idle (the default) only components that can make
+  /// progress are visited (active-set worklists); otherwise every link,
+  /// endpoint and router is swept densely. Both modes produce bit-identical
+  /// results (test_active_set pins this) — the dense sweep stays as the
+  /// reference implementation.
+  void step(Cycle now);
+
+  /// Enqueues a packet at endpoint `e` (false when its source queue is
+  /// full) and arms the endpoint's active-set entry. All traffic must enter
+  /// through here (or through a Simulator run): a direct
+  /// endpoint().try_enqueue() would leave a skip-idle endpoint dormant.
+  bool offer_packet(std::size_t e, const Packet& p);
+
+  /// Re-seeds every router's arbitration stream from `base` (see
+  /// Router::seed_rng). Simulator calls this right after taking a lease:
+  /// the arena reuse key deliberately excludes the seed, so a recycled
+  /// network may carry stale router streams.
+  void seed_rngs(std::uint64_t base);
+
+  /// True when nothing can happen until new traffic is offered: no buffered
+  /// or in-flight flits, no queued packets, no in-flight credits. O(1) in
+  /// skip-idle mode (all worklists empty), O(N) scan in dense mode. The
+  /// Simulator fast-forwards quiescent stretches to the traffic source's
+  /// next event cycle.
+  [[nodiscard]] bool quiescent() const;
+
+  /// Packets delivered whose generation time fell inside their sink's
+  /// measurement window (O(1) running counter; see Endpoint::receive_flit).
+  [[nodiscard]] std::uint64_t tagged_delivered() const noexcept {
+    return tagged_delivered_;
+  }
 
   /// Rewinds the network to its freshly-constructed state without touching
   /// any allocation: rings are emptied in place, VC/credit state and every
@@ -91,6 +121,9 @@ class Network {
   struct HotStats {
     Router::HotStats routers;           ///< summed; ring_hwm is the max
     std::uint64_t source_queue_hwm = 0; ///< max endpoint queue occupancy
+    std::uint64_t active_router_hwm = 0;  ///< max routers stepped in a cycle
+    std::uint64_t router_steps = 0;       ///< router step() calls executed
+    std::uint64_t cycles_stepped = 0;     ///< Network::step() calls
   };
   [[nodiscard]] HotStats hot_stats() const;
 
@@ -112,6 +145,18 @@ class Network {
     FlitChannel ejection;       ///< router -> endpoint
   };
 
+  void step_dense(Cycle now);
+  void step_active(Cycle now);
+
+  /// Membership-flagged worklist push (no-op when already a member).
+  static void arm(std::vector<std::uint32_t>& list, std::vector<char>& flag,
+                  std::size_t idx) {
+    if (!flag[idx]) {
+      flag[idx] = 1;
+      list.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+
   SimConfig cfg_;
   std::shared_ptr<const TopologyContext> topo_;
   /// Cold per-packet records (SoA split); declared before routers/endpoints
@@ -122,6 +167,40 @@ class Network {
   std::vector<Endpoint> endpoints_;
   std::vector<RouterLink> links_;
   std::vector<EndpointChannels> ep_channels_;
+
+  // --- Active-set worklists (skip-idle stepping) --------------------------
+  // A component sits on its worklist exactly while it can make progress:
+  // links/channels with anything in flight, routers with buffered flits,
+  // endpoints with queued packets. Each list carries a parallel membership
+  // flag so arming is O(1) and idempotent; step_active compacts the lists
+  // in place as components drain. Re-arming happens at the producer: a
+  // router step arms exactly the channels its ports pushed into this step
+  // (the router's SA scratch records pushed ports; the target tables below
+  // map ports to worklist entries), channel delivery arms the receiving
+  // router, and offer_packet arms the endpoint.
+  std::vector<std::uint32_t> active_links_;
+  std::vector<char> link_active_;
+  std::vector<std::uint32_t> active_chans_;
+  std::vector<char> chan_active_;
+  std::vector<std::uint32_t> active_routers_;
+  std::vector<char> router_active_;
+  std::vector<std::uint32_t> active_eps_;
+  std::vector<char> ep_active_;
+  /// Port -> worklist-target tables, built once at wiring time. For router
+  /// r and port p, out_flit_target_[r][p] is the worklist entry to arm when
+  /// that port pushes a flit (a link for network ports, an endpoint-channel
+  /// ejection for endpoint ports) and in_credit_target_[r][p] the entry
+  /// armed when a grant on that input port returns a credit (the reverse
+  /// link, or the endpoint's injection-credit channel). Endpoint-channel
+  /// entries carry kChanBit; links are plain indices.
+  static constexpr std::uint32_t kChanBit = 0x80000000u;
+  std::vector<std::vector<std::uint32_t>> out_flit_target_;
+  std::vector<std::vector<std::uint32_t>> in_credit_target_;
+
+  std::uint64_t tagged_delivered_ = 0;   ///< in-window packet completions
+  std::uint64_t active_router_hwm_ = 0;  ///< max |active_routers_| per step
+  std::uint64_t router_steps_ = 0;       ///< router step() calls executed
+  std::uint64_t cycles_stepped_ = 0;     ///< Network::step() calls
 };
 
 }  // namespace hm::noc

@@ -7,6 +7,12 @@
 
 namespace hm::noc {
 
+namespace {
+/// Stream salt separating per-router arbitration streams from every other
+/// consumer of derive_seed(cfg.seed, ...) (traffic streams, per-job seeds).
+constexpr std::uint64_t kRouterStreamSalt = 0x9061747552746572ULL;
+}  // namespace
+
 Router::Router(std::uint32_t id, const SimConfig& cfg,
                const RoutingTables* tables, const PacketTable* packets)
     : id_(id),
@@ -41,7 +47,15 @@ Router::Router(std::uint32_t id, const SimConfig& cfg,
   sa_out_port_used_.assign(n_ports_, 0);
   mask_words_ = (n_ports_ * vcs + 63) / 64;
   sa_request_mask_.assign(n_ports_ * mask_words_, 0);
+  sa_req_count_.assign(n_ports_, 0);
+  occupied_.assign(mask_words_, 0);
   free_adaptive_.assign(n_ports_, cfg_.vcs - 1);
+  seed_rng(cfg_.seed);
+}
+
+void Router::seed_rng(std::uint64_t base) {
+  rng_seed_ = derive_seed(derive_seed(base, kRouterStreamSalt), id_);
+  rng_ = Rng(rng_seed_);
 }
 
 void Router::reset() {
@@ -63,14 +77,16 @@ void Router::reset() {
       ov.owner = -1;
     }
   }
-  va_rr_ = 0;
-  sa_out_rr_ = 0;
   std::fill(sa_in_rr_.begin(), sa_in_rr_.end(), 0);
   std::fill(sa_in_port_used_.begin(), sa_in_port_used_.end(), 0);
   std::fill(sa_out_port_used_.begin(), sa_out_port_used_.end(), 0);
   std::fill(sa_request_mask_.begin(), sa_request_mask_.end(), 0);
+  std::fill(sa_req_count_.begin(), sa_req_count_.end(), 0);
+  std::fill(occupied_.begin(), occupied_.end(), 0);
   std::fill(free_adaptive_.begin(), free_adaptive_.end(), cfg_.vcs - 1);
   now_ = 0;
+  rng_ = Rng(rng_seed_);
+  buffered_ = 0;
   stats_ = HotStats{};
 }
 
@@ -94,10 +110,13 @@ void Router::wire_credit_return(std::size_t port, CreditChannel* channel,
 void Router::receive_flit(std::size_t port, Flit f, Cycle now) {
   assert(port < n_ports_);
   assert(f.vc < cfg_.vcs);
-  InputVc& iv = in_[static_cast<std::size_t>(flat(port, f.vc))];
+  const int idx = flat(port, f.vc);
+  InputVc& iv = in_[static_cast<std::size_t>(idx)];
   assert(iv.buf.size() <
          static_cast<std::size_t>(cfg_.buffer_depth));  // credits guarantee
   iv.buf.push_back(BufFlit{f, now + cfg_.router_latency});
+  ++buffered_;
+  occupied_[static_cast<std::size_t>(idx) >> 6] |= 1ULL << (idx & 63);
   if (iv.buf.size() > stats_.ring_hwm) stats_.ring_hwm = iv.buf.size();
 }
 
@@ -134,7 +153,7 @@ void Router::route_compute(InputVc& iv, int iv_flat) {
   }
 }
 
-bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
+bool Router::try_allocate_vc(InputVc& iv, int iv_flat) {
   const Flit& head = iv.buf.front().flit;
   const graph::NodeId dst = head.dst_router;
 
@@ -149,7 +168,7 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
       count = 1;
     } else if (ports.size() > 1) {
       // Adaptive: rotate the starting candidate to spread load.
-      first = static_cast<std::size_t>(rng.uniform_int(ports.size()));
+      first = static_cast<std::size_t>(rng_.uniform_int(ports.size()));
     }
     for (std::size_t i = 0; i < count; ++i) {
       const int port = ports[(i + first) % ports.size()];
@@ -204,28 +223,52 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng) {
   return false;
 }
 
-void Router::step(Cycle now, Rng& rng) {
+void Router::step(Cycle now) {
   now_ = now;
   const int total_vcs = static_cast<int>(in_.size());
 
   // --- RC: classify fresh heads -------------------------------------------
-  for (int idx = 0; idx < total_vcs; ++idx) {
-    InputVc& iv = in_[static_cast<std::size_t>(idx)];
-    if (iv.state == VcState::kIdle && !iv.buf.empty()) {
-      assert(iv.buf.front().flit.head);
-      route_compute(iv, idx);
+  // Ascending walk of the occupied VCs only — same visit order as a linear
+  // scan over every VC, since unoccupied VCs have no head to classify.
+  for (std::size_t w = 0; w < mask_words_; ++w) {
+    std::uint64_t m = occupied_[w];
+    while (m != 0) {
+      const int idx = static_cast<int>(w << 6) + std::countr_zero(m);
+      m &= m - 1;
+      InputVc& iv = in_[static_cast<std::size_t>(idx)];
+      if (iv.state == VcState::kIdle) {
+        assert(iv.buf.front().flit.head);
+        route_compute(iv, idx);
+      }
     }
   }
 
   // --- VA: allocate output VCs in round-robin order ------------------------
-  for (int i = 0; i < total_vcs; ++i) {
-    const int idx = (va_rr_ + i) % total_vcs;
-    InputVc& iv = in_[static_cast<std::size_t>(idx)];
-    if (iv.state == VcState::kNeedsVc) {
-      try_allocate_vc(iv, idx, rng);
+  // Starting offset derived from the cycle number: identical to a pointer
+  // incremented once per cycle, but invariant under idle-cycle skipping.
+  // Circular walk of the occupied VCs from that offset (a kNeedsVc head is
+  // always still buffered), in the order the former modular scan used.
+  const int va_start = static_cast<int>(now % static_cast<Cycle>(total_vcs));
+  {
+    const std::size_t sw = static_cast<std::size_t>(va_start) >> 6;
+    const std::uint64_t high = ~0ULL << (va_start & 63);
+    std::uint64_t m = occupied_[sw] & high;
+    for (std::size_t step = 0; step <= mask_words_; ++step) {
+      const std::size_t w =
+          step == 0 ? sw
+                    : (step == mask_words_ ? sw : (sw + step) % mask_words_);
+      if (step == mask_words_) m = occupied_[sw] & ~high;
+      while (m != 0) {
+        const int idx = static_cast<int>(w << 6) + std::countr_zero(m);
+        m &= m - 1;
+        InputVc& iv = in_[static_cast<std::size_t>(idx)];
+        if (iv.state == VcState::kNeedsVc) {
+          try_allocate_vc(iv, idx);
+        }
+      }
+      if (step + 1 < mask_words_) m = occupied_[(sw + step + 1) % mask_words_];
     }
   }
-  va_rr_ = (va_rr_ + 1) % total_vcs;
 
   // --- SA: switch allocation + traversal -----------------------------------
   switch_allocate(now);
@@ -266,6 +309,11 @@ void Router::switch_allocate(Cycle now) {
       // Grant: traverse the switch and the output link (an 8-byte copy).
       Flit f = iv.buf.front().flit;
       iv.buf.pop_front();
+      --buffered_;
+      if (iv.buf.empty()) {
+        occupied_[static_cast<std::size_t>(idx) >> 6] &=
+            ~(1ULL << (idx & 63));
+      }
       f.vc = static_cast<std::uint8_t>(iv.out_vc);
       if (iv.escape) {
         f.escape = 1;
@@ -327,27 +375,37 @@ void Router::switch_allocate(Cycle now) {
   };
 
   // iSLIP-style iterations: each pass matches still-unmatched output ports
-  // to still-unmatched input ports.
+  // to still-unmatched input ports. The output round-robin offset is
+  // derived from the cycle number (see step()), so it is skip-invariant.
+  const std::size_t out_start =
+      static_cast<std::size_t>(now % static_cast<Cycle>(n_ports_));
   for (int iter = 0; iter < cfg_.sa_iterations; ++iter) {
     bool granted_any = false;
     for (std::size_t i = 0; i < n_ports_; ++i) {
-      const std::size_t out_p = (static_cast<std::size_t>(sa_out_rr_) + i) %
-                                n_ports_;
+      const std::size_t out_p = (out_start + i) % n_ports_;
+      // Request-free ports cannot grant; skipping them is free of side
+      // effects (grant_one on an empty mask calls no try_grant, so it
+      // touches no stats and draws nothing).
+      if (sa_req_count_[out_p] == 0) continue;
       if (out_channel_[out_p] == nullptr || sa_out_port_used_[out_p]) continue;
       if (grant_one(out_p)) granted_any = true;
     }
     if (!granted_any) break;  // no further matches possible
   }
-  sa_out_rr_ = (sa_out_rr_ + 1) % static_cast<int>(n_ports_);
 }
 
 void Router::revoke_blocked_heads() {
-  const int total_vcs = static_cast<int>(in_.size());
-  for (int idx = 0; idx < total_vcs; ++idx) {
+  // Ascending occupied-VC walk: a revocable head (zero flits sent) is by
+  // definition still buffered, so unoccupied VCs cannot qualify.
+  for (std::size_t w = 0; w < mask_words_; ++w) {
+    std::uint64_t m = occupied_[w];
+    while (m != 0) {
+    const int idx = static_cast<int>(w << 6) + std::countr_zero(m);
+    m &= m - 1;
     InputVc& iv = in_[static_cast<std::size_t>(idx)];
     if (iv.state != VcState::kActive || iv.out_is_ejection) continue;
     if (iv.flits_sent > 0) continue;  // header already left: must stay
-    if (iv.buf.empty() || iv.buf.front().ready_time > now_) continue;
+    if (iv.buf.front().ready_time > now_) continue;
     OutputVc& ov = out_[static_cast<std::size_t>(flat(iv.out_port, iv.out_vc))];
     if (ov.credits > 0) continue;  // not blocked, just lost arbitration
     // Header is blocked with zero progress: release the allocation so the
@@ -364,6 +422,7 @@ void Router::revoke_blocked_heads() {
     iv.state = VcState::kNeedsVc;
     ++iv.blocked_cycles;
     ++stats_.heads_revoked;
+    }
   }
 }
 
@@ -378,9 +437,18 @@ bool Router::invariants_ok(std::string* why) const {
     if (why != nullptr) *why = "router " + std::to_string(id_) + ": " + msg;
     return false;
   };
+  if (buffered_ != buffered_flits()) {
+    return fail("incremental buffered-flit count out of sync");
+  }
   for (std::size_t p = 0; p < n_ports_; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
       const InputVc& iv = in_[static_cast<std::size_t>(flat(p, v))];
+      const int idx = flat(p, v);
+      const bool marked =
+          (occupied_[static_cast<std::size_t>(idx) >> 6] >> (idx & 63)) & 1;
+      if (marked != !iv.buf.empty()) {
+        return fail("occupancy bit out of sync with buffer");
+      }
       if (iv.buf.size() > static_cast<std::size_t>(cfg_.buffer_depth)) {
         return fail("input buffer overflow");
       }

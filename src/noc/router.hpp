@@ -72,8 +72,18 @@ class Router {
   /// Delivers a credit for output port `port`, VC `vc`.
   void receive_credit(std::size_t port, int vc);
 
-  /// One cycle: RC, VA, SA (+ escape-fallback revocation).
-  void step(Cycle now, Rng& rng);
+  /// One cycle: RC, VA, SA (+ escape-fallback revocation). Arbitration
+  /// draws come from the router's own RNG stream (seeded from the config
+  /// seed and the router id), and the fair-allocation round-robin offsets
+  /// are derived from `now` — so a step on an empty router is an observable
+  /// no-op and the active-set stepper can skip drained routers without
+  /// perturbing any later draw or arbitration decision.
+  void step(Cycle now);
+
+  /// Re-seeds the router's RNG stream as derive_seed(derive_seed(base,
+  /// router-stream salt), id). Called by Network::seed_rngs when a Simulator
+  /// adopts a leased network whose cached config carries a stale seed.
+  void seed_rng(std::uint64_t base);
 
   /// Rewinds every mutable field to the freshly-constructed state (arena
   /// reuse). Must stay exhaustive: a reset router has to be bit-identical
@@ -86,10 +96,31 @@ class Router {
   }
   [[nodiscard]] std::size_t total_ports() const noexcept { return n_ports_; }
 
-  /// Total flits currently buffered (for conservation checks).
+  /// Total flits currently buffered (for conservation checks; O(VCs) scan).
   [[nodiscard]] std::size_t buffered_flits() const;
 
+  /// O(1) buffered-flit count, maintained incrementally. Zero is exactly
+  /// the active-set idle criterion: a router with no buffered flits has no
+  /// RC/VA/SA work and its step is an observable no-op (pending credits
+  /// only top counters up; they cannot trigger an action on their own).
+  [[nodiscard]] std::size_t buffered_flit_count() const noexcept {
+    return buffered_;
+  }
+
   [[nodiscard]] const HotStats& hot_stats() const noexcept { return stats_; }
+
+  /// Switch-allocation scratch, valid immediately after step(): which
+  /// output ports pushed a flit into their channel this step, and which
+  /// input ports had a grant (and therefore returned a credit upstream
+  /// when a credit channel is wired). The active-set stepper arms exactly
+  /// the channels these ports feed instead of re-scanning every channel
+  /// adjacent to the router.
+  [[nodiscard]] const std::vector<char>& out_ports_pushed() const noexcept {
+    return sa_out_port_used_;
+  }
+  [[nodiscard]] const std::vector<char>& in_ports_granted() const noexcept {
+    return sa_in_port_used_;
+  }
 
   /// Validates internal invariants (buffer bounds, credit bounds, ownership
   /// consistency). Returns false and fills `why` on violation.
@@ -128,20 +159,24 @@ class Router {
 
   /// Marks flat input VC `iv_flat` as requesting output port `out_p` (set
   /// exactly while the VC is kActive), so the switch allocator can walk
-  /// requesters with countr_zero instead of scanning every input VC.
+  /// requesters with countr_zero instead of scanning every input VC. The
+  /// per-port requester count lets SA skip request-free ports with one
+  /// load instead of probing an empty mask per port per cycle.
   void mark_request(std::size_t out_p, int iv_flat) {
     sa_request_mask_[out_p * mask_words_ +
                      (static_cast<std::size_t>(iv_flat) >> 6)] |=
         1ULL << (iv_flat & 63);
+    ++sa_req_count_[out_p];
   }
   void clear_request(std::size_t out_p, int iv_flat) {
     sa_request_mask_[out_p * mask_words_ +
                      (static_cast<std::size_t>(iv_flat) >> 6)] &=
         ~(1ULL << (iv_flat & 63));
+    --sa_req_count_[out_p];
   }
 
   void route_compute(InputVc& iv, int iv_flat);
-  bool try_allocate_vc(InputVc& iv, int iv_flat, Rng& rng);
+  bool try_allocate_vc(InputVc& iv, int iv_flat);
   void switch_allocate(Cycle now);
   void revoke_blocked_heads();
 
@@ -159,9 +194,11 @@ class Router {
   std::vector<CreditChannel*> credit_channel_;
   std::vector<int> credit_latency_;
 
-  // Round-robin pointers for fair allocation.
-  int va_rr_ = 0;
-  int sa_out_rr_ = 0;
+  // Round-robin state for fair allocation. The VA and SA-output starting
+  // offsets are derived from the cycle number (now % size) instead of being
+  // incremented per step, so a router skipped while idle resumes with
+  // exactly the offsets a densely-stepped router would have. sa_in_rr_
+  // advances only on grants, which cannot happen while idle.
   std::vector<int> sa_in_rr_;  ///< per output port, over flat input-VC ids
 
   // Preallocated switch-allocation scratch (per-cycle matching state).
@@ -172,6 +209,18 @@ class Router {
   // ids; bit set iff that input VC is kActive toward that output port.
   std::size_t mask_words_ = 1;
   std::vector<std::uint64_t> sa_request_mask_;
+  std::vector<std::uint16_t> sa_req_count_;  ///< requesters per output port
+
+  // Occupancy bitmask over flat input-VC ids: bit set iff the VC buffers at
+  // least one flit. Every per-VC action of step() requires a buffered flit
+  // (RC classifies a buffered head, VA only sees kNeedsVc VCs — whose head
+  // is still buffered by construction — and the escape-fallback revocation
+  // skips empty buffers; SA walks its own request masks), so RC/VA/revoke
+  // walk only set bits instead of scanning every VC. The walks visit bits
+  // in exactly the order the former linear scans used (ascending for
+  // RC/revoke, circular from the cycle-derived offset for VA), keeping
+  // arbitration and RNG draws bit-identical.
+  std::vector<std::uint64_t> occupied_;
 
   /// Per output port: free adaptive output VCs (owner < 0 among VCs
   /// 1..vcs-1). Lets a blocked header skip a fully-owned port with one load
@@ -179,6 +228,15 @@ class Router {
   std::vector<int> free_adaptive_;
 
   Cycle now_ = 0;  ///< updated by step(); used for SA readiness checks
+
+  /// Per-router arbitration stream: adaptive-VC rotation draws come from
+  /// here instead of a network-wide shared Rng, so skipping an idle router
+  /// cannot shift any other router's draws. rng_seed_ remembers the seed so
+  /// reset() rewinds the stream bit-identically.
+  Rng rng_;
+  std::uint64_t rng_seed_ = 0;
+
+  std::size_t buffered_ = 0;  ///< incrementally maintained buffered flits
 
   HotStats stats_;
 };

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -57,8 +58,10 @@ struct ThroughputResult {
 struct SaturationSearchOptions {
   /// A probe at offered rate r is "stable" when no packet was dropped at a
   /// full source queue during the measurement window AND accepted >=
-  /// stability * r (the latter guards against in-network congestion with
-  /// queues that have not filled yet).
+  /// stability * generated (the latter guards against in-network congestion
+  /// with queues that have not filled yet; generated — the rate actually
+  /// admitted — rather than the nominal r, so short-window low-rate probes
+  /// do not flap on generation shot noise).
   double stability = 0.9;
   /// Binary-search iterations after the initial full-rate probe
   /// (resolution = 2^-iterations in offered rate).
@@ -73,6 +76,14 @@ struct SaturationSearchOptions {
   /// searches bit-identical to sequential ones. Off by default to preserve
   /// the historical single-seed numbers.
   bool per_probe_seeds = false;
+  /// Analytic saturation estimate in [0, 1] (e.g. from evaluate_analytic's
+  /// bisection/channel-load bounds). When set, the search gallops outward
+  /// from the estimate on the same dyadic probe grid the plain bisection
+  /// refines over, so a good estimate needs ~3 probes instead of ~7 — and
+  /// because probe outcomes are monotone in the offered rate in practice,
+  /// the returned rate is identical to the plain search's. Negative (the
+  /// default) disables the surrogate and runs the plain bisection.
+  double surrogate_rate = -1.0;
 };
 
 /// Result of the saturation-point search.
@@ -166,19 +177,41 @@ class Simulator {
 
   [[nodiscard]] Network& network() noexcept { return net_; }
   [[nodiscard]] Cycle now() const noexcept { return now_; }
+  /// Cycles fast-forwarded over quiescent stretches (skip-idle mode only).
+  [[nodiscard]] std::uint64_t idle_skipped_cycles() const noexcept {
+    return idle_skipped_cycles_;
+  }
 
  private:
-  /// Advances one cycle: traffic generation, then network step.
+  /// Advances one cycle: due traffic events, then network step.
   void tick(SyntheticTraffic& traffic);
+
+  /// Ticks until now_ == limit. In skip-idle mode, quiescent stretches
+  /// (nothing in the network, no traffic event due) are fast-forwarded to
+  /// the traffic source's next event cycle — the skipped cycles are
+  /// observable no-ops, so results are bit-identical to dense stepping.
+  void advance_until(Cycle limit, SyntheticTraffic& traffic);
+
+  /// Binds `traffic`'s per-endpoint event streams for a run starting now.
+  /// The base seed is salted with the start cycle so back-to-back runs on
+  /// one Simulator draw fresh streams (the shared-Rng scheme this replaces
+  /// had the same property by consuming the stream across runs).
+  void bind_traffic(SyntheticTraffic& traffic);
 
   SimConfig cfg_;
   SimulationArena::Lease lease_;  ///< owns or borrows the network
   Network& net_;                  ///< lease_.network()
-  Rng rng_;
   TrafficSpec traffic_spec_;
   Cycle now_ = 0;
   std::uint64_t packets_admitted_ = 0;  ///< enqueue successes (lifetime)
   std::uint64_t packets_dropped_ = 0;   ///< enqueue failures (lifetime)
+  std::uint64_t idle_skipped_cycles_ = 0;
+  /// Tagged-generation window of the current latency run: admissions with
+  /// gen_time inside it count toward the drain target.
+  Cycle tag_begin_ = 0;
+  Cycle tag_end_ = std::numeric_limits<Cycle>::min();
+  std::uint64_t tagged_generated_ = 0;
+  std::vector<Packet> gen_scratch_;  ///< per-tick generated packets
 };
 
 }  // namespace hm::noc

@@ -1,6 +1,8 @@
 #include "noc/traffic.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <stdexcept>
@@ -134,10 +136,7 @@ std::uint16_t SyntheticTraffic::permutation_target(std::uint16_t src) const {
       "permutation_target: pattern has no fixed destination");
 }
 
-std::optional<Packet> SyntheticTraffic::maybe_generate(std::uint16_t src,
-                                                       Cycle now, Rng& rng) {
-  if (!rng.bernoulli(packet_rate_)) return std::nullopt;
-
+std::uint16_t SyntheticTraffic::draw_destination(std::uint16_t src, Rng& rng) {
   std::uint16_t dst = src;
   switch (spec_.pattern) {
     case TrafficPattern::kUniform: {
@@ -159,6 +158,14 @@ std::optional<Packet> SyntheticTraffic::maybe_generate(std::uint16_t src,
       dst = permutation_target(src);
       break;
   }
+  return dst;
+}
+
+std::optional<Packet> SyntheticTraffic::maybe_generate(std::uint16_t src,
+                                                       Cycle now, Rng& rng) {
+  if (!rng.bernoulli(packet_rate_)) return std::nullopt;
+
+  const std::uint16_t dst = draw_destination(src, rng);
   if (dst == src) return std::nullopt;  // self-traffic carries no ICI load
 
   ++generated_;
@@ -168,6 +175,69 @@ std::optional<Packet> SyntheticTraffic::maybe_generate(std::uint16_t src,
   p.length = static_cast<std::uint16_t>(packet_length_);
   p.gen_time = now;
   return p;
+}
+
+Cycle SyntheticTraffic::sample_gap(Rng& rng) const {
+  if (packet_rate_ <= 0.0) return kNever;
+  if (packet_rate_ >= 1.0) return 0;  // every cycle is a success
+  // Inverse-CDF geometric sampling: the number of Bernoulli(p) failures
+  // before the next success is floor(log(1-u) / log(1-p)) for u ~ U[0,1).
+  // One uniform draw replaces a die roll per idle cycle, with exactly the
+  // per-cycle Bernoulli attempt-time distribution.
+  const double u = rng.uniform();
+  const double k = std::floor(std::log1p(-u) / std::log1p(-packet_rate_));
+  // Clamp pathological tails (u extremely close to 1 at tiny rates) so the
+  // scheduled cycle can never overflow Cycle arithmetic.
+  constexpr double kMaxGap = 1e15;
+  return static_cast<Cycle>(std::min(k, kMaxGap));
+}
+
+void SyntheticTraffic::bind(std::uint64_t base_seed, Cycle start_cycle) {
+  streams_.clear();
+  streams_.reserve(num_endpoints_);
+  events_.clear();
+  events_.reserve(num_endpoints_);
+  for (std::size_t e = 0; e < num_endpoints_; ++e) {
+    streams_.emplace_back(derive_seed(base_seed, e));
+    const Cycle gap = sample_gap(streams_.back());
+    if (gap == kNever) continue;
+    events_.push_back(Event{start_cycle + gap,
+                            static_cast<std::uint16_t>(e)});
+  }
+  // Min-heap on (cycle, endpoint id): pops at equal cycles come out in
+  // ascending endpoint order, matching the dense sweep's admission order.
+  const auto later = [](const Event& a, const Event& b) {
+    return a.at != b.at ? a.at > b.at : a.src > b.src;
+  };
+  std::make_heap(events_.begin(), events_.end(), later);
+}
+
+void SyntheticTraffic::generate_due(Cycle now, std::vector<Packet>& out) {
+  const auto later = [](const Event& a, const Event& b) {
+    return a.at != b.at ? a.at > b.at : a.src > b.src;
+  };
+  while (!events_.empty() && events_.front().at <= now) {
+    std::pop_heap(events_.begin(), events_.end(), later);
+    const Event ev = events_.back();
+    events_.pop_back();
+    Rng& rng = streams_[ev.src];
+
+    const std::uint16_t dst = draw_destination(ev.src, rng);
+    if (dst != ev.src) {  // self-traffic carries no ICI load
+      ++generated_;
+      Packet p;  // id is assigned by the PacketTable at admission
+      p.src_endpoint = ev.src;
+      p.dst_endpoint = dst;
+      p.length = static_cast<std::uint16_t>(packet_length_);
+      p.gen_time = now;
+      out.push_back(p);
+    }
+
+    const Cycle gap = sample_gap(rng);
+    if (gap == kNever) continue;
+    events_.push_back(Event{ev.at + 1 + gap, ev.src});
+    std::push_heap(events_.begin(), events_.end(), later);
+  }
 }
 
 }  // namespace hm::noc

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,12 +102,60 @@ class SyntheticTraffic {
   /// exposed for tests via pattern-specific behaviour).
   [[nodiscard]] std::uint16_t permutation_target(std::uint16_t src) const;
 
+  // --- Event-driven source API (skip-idle stepping) -----------------------
+  //
+  // Instead of rolling a Bernoulli(p) die per endpoint per cycle, each
+  // endpoint owns an independent RNG stream (derive_seed(base, endpoint))
+  // and samples the gap to its next generation *attempt* directly from the
+  // geometric distribution — one uniform draw per attempt instead of one
+  // per cycle, and an exact next-event cycle the Simulator can fast-forward
+  // to when the network is quiescent. The attempt-time distribution is
+  // identical to per-cycle Bernoulli sampling; destination draws then come
+  // from the same endpoint stream.
+
+  /// Sentinel "no next event" cycle.
+  static constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+  /// Arms the event-driven source: seeds one RNG stream per endpoint from
+  /// `base_seed` and schedules every endpoint's first generation attempt at
+  /// or after `start_cycle`. Must be called before next_event_cycle /
+  /// generate_due; may be called again to rebind.
+  void bind(std::uint64_t base_seed, Cycle start_cycle);
+
+  /// Cycle of the earliest pending generation attempt (kNever when none —
+  /// zero rate, or bind() not called).
+  [[nodiscard]] Cycle next_event_cycle() const noexcept {
+    return events_.empty() ? kNever : events_.front().at;
+  }
+
+  /// Runs every generation attempt due at or before `now`, appending the
+  /// produced packets to `out` (self-traffic attempts produce nothing but
+  /// still reschedule). Attempts at equal cycles run in ascending endpoint
+  /// order, matching the dense per-cycle endpoint sweep's admission order.
+  void generate_due(Cycle now, std::vector<Packet>& out);
+
  private:
+  struct Event {
+    Cycle at = 0;
+    std::uint16_t src = 0;
+  };
+
+  /// Draws the destination for one admitted attempt of `src` (the part of
+  /// maybe_generate after the Bernoulli roll). May return src itself
+  /// (self-traffic: caller suppresses the packet).
+  [[nodiscard]] std::uint16_t draw_destination(std::uint16_t src, Rng& rng);
+
+  /// Failures before the next Bernoulli(packet_rate_) success, sampled in
+  /// one draw; kNever when the rate is zero.
+  [[nodiscard]] Cycle sample_gap(Rng& rng) const;
+
   TrafficSpec spec_;
   std::size_t num_endpoints_;
   double packet_rate_;
   int packet_length_;
   std::vector<std::uint16_t> permutation_;
+  std::vector<Rng> streams_;   ///< per-endpoint streams (bind())
+  std::vector<Event> events_;  ///< min-heap on (at, src)
   std::uint64_t generated_ = 0;  ///< packets returned (ids come from the
                                  ///< PacketTable at admission, not here)
 };

@@ -69,6 +69,12 @@ TemperingResult TemperingEngine::run(const core::Arrangement& start) {
     throw std::invalid_argument(
         "TemperingEngine: min_temperature must be > 0");
   }
+  if (options_.adapt_ladder &&
+      (!(options_.target_exchange_acceptance > 0.0) ||
+       options_.target_exchange_acceptance >= 1.0)) {
+    throw std::invalid_argument(
+        "TemperingEngine: target_exchange_acceptance must be in (0, 1)");
+  }
   options_.objective.validate();
 
   // Only the half of the pipeline the objective scores is simulated.
@@ -112,16 +118,21 @@ TemperingResult TemperingEngine::run(const core::Arrangement& start) {
   result.evaluations = 1;
 
   // Geometric ladder, coldest first; every rung floored so a zero/near-zero
-  // baseline cannot collapse the population into K hill climbers.
+  // baseline cannot collapse the population into K hill climbers. The
+  // hottest rung is pinned; adapt_ladder only re-spaces the rungs below it.
   const double hot = std::max(
       std::abs(result.baseline_score) * options_.initial_temperature,
       options_.min_temperature);
+  double ladder_ratio = options_.ladder_ratio;
   result.temperatures.resize(K);
-  for (std::size_t k = 0; k < K; ++k) {
-    result.temperatures[k] = std::max(
-        hot * std::pow(options_.ladder_ratio, static_cast<double>(K - 1 - k)),
-        options_.min_temperature);
-  }
+  const auto rebuild_ladder = [&] {
+    for (std::size_t k = 0; k < K; ++k) {
+      result.temperatures[k] = std::max(
+          hot * std::pow(ladder_ratio, static_cast<double>(K - 1 - k)),
+          options_.min_temperature);
+    }
+  };
+  rebuild_ladder();
 
   std::vector<Replica> replicas(K, seed_replica);
   result.trace.reserve(options_.steps * K);
@@ -244,9 +255,12 @@ TemperingResult TemperingEngine::run(const core::Arrangement& start) {
       const std::uint64_t sweep_base = noc::derive_seed(
           noc::derive_seed(options_.seed, kExchangeSalt), step);
       std::size_t pair = 0;
+      std::size_t sweep_attempts = 0;
+      std::size_t sweep_accepts = 0;
       for (std::size_t k = parity; k + 1 < K; k += 2, ++pair) {
         noc::Rng xrng(noc::derive_seed(sweep_base, pair));
         ++result.exchange_attempts;
+        ++sweep_attempts;
         // Maximization form of the exchange rule: with energies E = -S,
         // p = min(1, exp((1/T_cold - 1/T_hot) * (S_hot - S_cold))) — an
         // improvement moving down-ladder is always accepted.
@@ -256,11 +270,31 @@ TemperingResult TemperingEngine::run(const core::Arrangement& start) {
         if (delta >= 0.0 || xrng.uniform() < std::exp(delta)) {
           std::swap(replicas[k], replicas[k + 1]);
           ++result.exchange_accepts;
+          ++sweep_accepts;
           result.trace[row0 + k].exchanged = true;
           result.trace[row0 + k].exchange_partner = static_cast<int>(k + 1);
           result.trace[row0 + k + 1].exchanged = true;
           result.trace[row0 + k + 1].exchange_partner = static_cast<int>(k);
         }
+      }
+
+      // Ladder adaptation (the ROADMAP carry-over): nudge the geometric
+      // ratio toward the target per-pair exchange acceptance. Too few swaps
+      // means adjacent rungs are too far apart -> ratio up (closer rungs);
+      // too many means the ladder is wastefully dense -> ratio down
+      // (broader temperature range). Multiplicative-in-log update, clamped
+      // so the ladder never degenerates; a pure function of the sweep's
+      // deterministic accept count, so traces stay thread-independent.
+      if (options_.adapt_ladder && sweep_attempts > 0) {
+        const double acceptance = static_cast<double>(sweep_accepts) /
+                                  static_cast<double>(sweep_attempts);
+        constexpr double kAdaptGain = 0.2;
+        ladder_ratio = std::clamp(
+            ladder_ratio * std::exp(kAdaptGain *
+                                    (options_.target_exchange_acceptance -
+                                     acceptance)),
+            0.05, 0.98);
+        rebuild_ladder();
       }
     }
 
@@ -284,6 +318,7 @@ TemperingResult TemperingEngine::run(const core::Arrangement& start) {
     }
   }
 
+  result.final_ladder_ratio = ladder_ratio;
   result.replica_scores.resize(K);
   for (std::size_t k = 0; k < K; ++k) {
     result.replica_scores[k] = replicas[k].score;

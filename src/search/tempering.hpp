@@ -2,9 +2,14 @@
 //
 // Where search/search.hpp runs ONE chain (hill climb or a cooling anneal),
 // TemperingEngine runs K replicas of the same mutation/evaluate pipeline
-// concurrently, each at a fixed temperature of a geometric ladder:
+// concurrently, each at a temperature of a geometric ladder:
 //
 //     T_k = max(T_hot * ladder_ratio^(K-1-k), min_temperature)
+//
+// With adapt_ladder (the default) the spacing self-tunes: after each
+// exchange sweep the ratio moves toward the value that keeps adjacent
+// replicas swapping at target_exchange_acceptance, deterministically,
+// from the sweep's own (deterministic) acceptance count.
 //
 // with replica K-1 the hottest (T_hot = |baseline| * initial_temperature,
 // floored) and replica 0 the coldest, near-greedy one. Hot replicas cross
@@ -81,6 +86,17 @@ struct TemperingOptions {
   double ladder_ratio = 0.5;
   double min_temperature = 1e-9;
 
+  /// Adapt `ladder_ratio` between exchange sweeps: after each sweep the
+  /// ratio moves (deterministically, from the sweep's own acceptance count)
+  /// toward the rate that keeps adjacent replicas exchanging at
+  /// `target_exchange_acceptance` — too few swaps pushes the ratio toward 1
+  /// (rungs closer together), too many spreads the ladder out. The hottest
+  /// rung stays fixed; only the spacing adapts. Adaptation is a pure
+  /// function of the (deterministic) exchange outcomes, so traces remain
+  /// byte-identical at any thread count.
+  bool adapt_ladder = true;
+  double target_exchange_acceptance = 0.3;
+
   ObjectiveSpec objective;  ///< see search/objective.hpp
 
   /// Worker concurrency for candidate evaluation; 0 = hardware threads.
@@ -106,7 +122,7 @@ struct TemperingOptions {
 struct TemperingStep {
   std::size_t step = 0;
   std::size_t replica = 0;
-  double temperature = 0.0;  ///< this replica's (fixed, floored) rung
+  double temperature = 0.0;  ///< this replica's (floored) rung at this step
   MutationKind kind = MutationKind::kNone;  ///< selected candidate's op
   std::size_t candidates = 0;  ///< legal proposals evaluated this step
   bool accepted = false;       ///< candidate became the replica's state
@@ -139,8 +155,13 @@ struct TemperingResult {
   core::EvaluationResult baseline_result{};  ///< the start arrangement
   double baseline_score = 0.0;
 
-  /// Temperature ladder actually used, coldest first (after flooring).
+  /// Temperature ladder in effect when the run ended, coldest first (after
+  /// flooring). With adapt_ladder the spacing may differ from the initial
+  /// ladder_ratio; trace rows carry the rung each step actually used.
   std::vector<double> temperatures;
+  /// Ladder ratio in effect when the run ended (== options.ladder_ratio
+  /// unless adapt_ladder moved it).
+  double final_ladder_ratio = 0.0;
   /// Final per-replica current scores, coldest first.
   std::vector<double> replica_scores;
 

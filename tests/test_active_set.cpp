@@ -1,0 +1,229 @@
+// Pins the two perf contracts of the skip-idle/active-set work:
+//
+//  1. Active-set stepping (SimConfig::skip_idle, the default) is an
+//     optimization, never a behavior change: measurement results and flit
+//     accounting are bit-identical to the dense reference sweep across
+//     routing modes, seeds and traffic patterns — including the quiescence
+//     fast-forward (which must actually engage at low load).
+//  2. The surrogate-bracketed saturation search returns exactly the plain
+//     bisection's rate (it probes the same dyadic grid), within a bounded
+//     probe budget when the analytic estimate is wired in.
+//
+// Plus: Network::reset() clears the active-set state (the arena recycles
+// networks through reset(); stale worklists would violate the skip-mode
+// flag-exactness invariants and resurrect ghost work).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "core/evaluator.hpp"
+#include "noc/network.hpp"
+#include "noc/simulator.hpp"
+#include "noc/topology.hpp"
+#include "noc/traffic.hpp"
+
+namespace {
+
+using hm::core::ArrangementType;
+using hm::core::make_arrangement;
+using hm::noc::Cycle;
+using hm::noc::Network;
+using hm::noc::Packet;
+using hm::noc::RoutingMode;
+using hm::noc::SimConfig;
+using hm::noc::Simulator;
+using hm::noc::TrafficPattern;
+using hm::noc::TrafficSpec;
+
+TrafficSpec hotspot_spec() {
+  TrafficSpec spec;
+  spec.pattern = TrafficPattern::kHotspot;
+  spec.hotspot_fraction = 0.3;
+  spec.hotspots = {0, 3};
+  return spec;
+}
+
+/// One full measurement pass (latency run then throughput run on the same
+/// Simulator, like evaluate() does) with everything observable captured.
+struct RunObservation {
+  hm::noc::LatencyResult latency;
+  hm::noc::ThroughputResult throughput;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t idle_skipped = 0;
+};
+
+RunObservation observe(const SimConfig& cfg, const TrafficSpec& traffic) {
+  const auto arr = make_arrangement(ArrangementType::kGrid, 9);
+  Simulator sim(arr.graph(), cfg);
+  sim.set_traffic(traffic);
+  RunObservation obs;
+  obs.latency = sim.run_latency(0.05, 200, 500, 30000);
+  obs.throughput = sim.run_throughput(0.3, 300, 300);
+  obs.flits_injected = sim.network().total_flits_injected();
+  obs.flits_ejected = sim.network().total_flits_ejected();
+  obs.idle_skipped = sim.idle_skipped_cycles();
+  std::string why;
+  EXPECT_TRUE(sim.network().invariants_ok(&why)) << why;
+  return obs;
+}
+
+TEST(ActiveSet, BitIdenticalToDenseAcrossModesSeedsAndTraffic) {
+  const RoutingMode modes[] = {RoutingMode::kMinimalAdaptive,
+                               RoutingMode::kDeterministicMinimal,
+                               RoutingMode::kUpDownOnly};
+  const TrafficSpec traffics[] = {TrafficSpec{}, hotspot_spec()};
+  for (const RoutingMode mode : modes) {
+    for (const unsigned long long seed : {7ull, 42ull, 1234ull}) {
+      for (const TrafficSpec& traffic : traffics) {
+        SimConfig cfg;
+        cfg.routing = mode;
+        cfg.seed = seed;
+        cfg.skip_idle = true;
+        const RunObservation active = observe(cfg, traffic);
+        cfg.skip_idle = false;
+        const RunObservation dense = observe(cfg, traffic);
+
+        const std::string ctx =
+            "mode=" + std::to_string(static_cast<int>(mode)) +
+            " seed=" + std::to_string(seed) + " hotspot=" +
+            std::to_string(traffic.pattern == TrafficPattern::kHotspot);
+        EXPECT_EQ(active.latency.avg_packet_latency,
+                  dense.latency.avg_packet_latency) << ctx;
+        EXPECT_EQ(active.latency.packets_measured,
+                  dense.latency.packets_measured) << ctx;
+        EXPECT_EQ(active.latency.drained, dense.latency.drained) << ctx;
+        EXPECT_EQ(active.throughput.accepted_flit_rate,
+                  dense.throughput.accepted_flit_rate) << ctx;
+        EXPECT_EQ(active.throughput.generated_flit_rate,
+                  dense.throughput.generated_flit_rate) << ctx;
+        EXPECT_EQ(active.throughput.dropped_packets,
+                  dense.throughput.dropped_packets) << ctx;
+        EXPECT_EQ(active.flits_injected, dense.flits_injected) << ctx;
+        EXPECT_EQ(active.flits_ejected, dense.flits_ejected) << ctx;
+        // The optimization must actually optimize: dense mode never
+        // fast-forwards, active mode must have skipped something during
+        // the low-load latency phase.
+        EXPECT_EQ(dense.idle_skipped, 0u) << ctx;
+        EXPECT_GT(active.idle_skipped, 0u) << ctx;
+      }
+    }
+  }
+}
+
+TEST(ActiveSet, ResetClearsActiveSetState) {
+  const auto arr = make_arrangement(ArrangementType::kGrid, 9);
+  SimConfig cfg;  // skip_idle on
+  Network fresh(arr.graph(), cfg);
+  Network recycled(arr.graph(), cfg);
+
+  // Leave `recycled` mid-flight: queued packets, buffered flits, in-flight
+  // link traffic — every worklist populated.
+  hm::noc::UniformRandomTraffic traffic(recycled.num_endpoints(), 0.4,
+                                        cfg.packet_length);
+  hm::noc::Rng rng(3);
+  for (Cycle now = 0; now < 120; ++now) {
+    for (std::size_t e = 0; e < recycled.num_endpoints(); ++e) {
+      auto p = traffic.maybe_generate(static_cast<std::uint16_t>(e), now, rng);
+      if (p.has_value()) (void)recycled.offer_packet(e, *p);
+    }
+    recycled.step(now);
+  }
+  ASSERT_FALSE(recycled.quiescent());
+
+  recycled.reset();
+  // Quiescent again (in skip-idle mode that IS "all worklists empty"), with
+  // the flag-exactness invariants intact.
+  EXPECT_TRUE(recycled.quiescent());
+  std::string why;
+  EXPECT_TRUE(recycled.invariants_ok(&why)) << why;
+
+  // And behaviorally indistinguishable from a freshly built network: the
+  // same offered traffic produces the same flit accounting cycle for cycle.
+  hm::noc::UniformRandomTraffic replay_a(fresh.num_endpoints(), 0.4,
+                                         cfg.packet_length);
+  hm::noc::UniformRandomTraffic replay_b(fresh.num_endpoints(), 0.4,
+                                         cfg.packet_length);
+  hm::noc::Rng rng_a(11);
+  hm::noc::Rng rng_b(11);
+  for (Cycle now = 0; now < 400; ++now) {
+    for (std::size_t e = 0; e < fresh.num_endpoints(); ++e) {
+      auto pa = replay_a.maybe_generate(static_cast<std::uint16_t>(e), now,
+                                        rng_a);
+      auto pb = replay_b.maybe_generate(static_cast<std::uint16_t>(e), now,
+                                        rng_b);
+      ASSERT_EQ(pa.has_value(), pb.has_value());
+      if (pa.has_value()) {
+        ASSERT_EQ(fresh.offer_packet(e, *pa), recycled.offer_packet(e, *pb));
+      }
+    }
+    fresh.step(now);
+    recycled.step(now);
+  }
+  EXPECT_EQ(fresh.total_flits_injected(), recycled.total_flits_injected());
+  EXPECT_EQ(fresh.total_flits_ejected(), recycled.total_flits_ejected());
+  EXPECT_GT(fresh.total_flits_ejected(), 0u);
+}
+
+/// Short-window saturation search options every surrogate test shares.
+hm::noc::SaturationSearchOptions fast_search() {
+  hm::noc::SaturationSearchOptions opts;
+  opts.warmup = 400;
+  opts.measure = 400;
+  return opts;
+}
+
+TEST(SurrogateSearch, SameRateAsPlainBisectionForAnyEstimate) {
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh, 19);
+  const auto topo = hm::noc::TopologyContext::acquire(arr.graph());
+  const SimConfig cfg;
+  const auto opts = fast_search();
+
+  const auto plain = hm::noc::find_saturation(topo, cfg, opts);
+  ASSERT_GT(plain.saturation_flit_rate, 0.0);
+
+  // Any estimate — spot-on, too low, too high, or at either boundary —
+  // must land on the same grid point with the same accepted rate.
+  for (const double estimate :
+       {plain.saturation_flit_rate, 0.0, 0.05, 0.3, 0.9, 1.0}) {
+    auto sopts = opts;
+    sopts.surrogate_rate = estimate;
+    const auto pruned = hm::noc::find_saturation(topo, cfg, sopts);
+    EXPECT_EQ(pruned.saturation_flit_rate, plain.saturation_flit_rate)
+        << "estimate=" << estimate;
+    EXPECT_EQ(pruned.accepted_flit_rate, plain.accepted_flit_rate)
+        << "estimate=" << estimate;
+  }
+}
+
+TEST(SurrogateSearch, ProbeBudgetBounded) {
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh, 19);
+  const auto topo = hm::noc::TopologyContext::acquire(arr.graph());
+  const SimConfig cfg;
+  const auto opts = fast_search();
+  const auto plain = hm::noc::find_saturation(topo, cfg, opts);
+
+  // A spot-on estimate needs just the bracket check: stable at k0,
+  // unstable one grid step up.
+  auto exact = opts;
+  exact.surrogate_rate = plain.saturation_flit_rate;
+  const auto best_case = hm::noc::find_saturation(topo, cfg, exact);
+  EXPECT_LE(best_case.probes, 4);
+
+  // The analytic estimate evaluate() wires in (core/evaluator.cpp) must
+  // keep the budget at <= 6 probes — the acceptance bound — versus
+  // iterations + 1 == 7 minimum for the plain bisection.
+  const hm::core::EvaluationParams eval_params;
+  auto seeded = opts;
+  seeded.surrogate_rate = hm::core::analytic_saturation_estimate(
+      hm::core::evaluate_analytic(arr, eval_params), eval_params);
+  const auto pruned = hm::noc::find_saturation(topo, cfg, seeded);
+  EXPECT_EQ(pruned.saturation_flit_rate, plain.saturation_flit_rate);
+  EXPECT_LE(pruned.probes, 6);
+  EXPECT_LT(pruned.probes, plain.probes);
+}
+
+}  // namespace

@@ -24,9 +24,9 @@ Graph two_chiplets() {
 }
 
 /// Steps the network until `cycle` (exclusive).
-void run_until(Network& net, Rng& rng, Cycle& now, Cycle cycle) {
+void run_until(Network& net, Cycle& now, Cycle cycle) {
   while (now < cycle) {
-    net.step(now, rng);
+    net.step(now);
     ++now;
   }
 }
@@ -72,7 +72,6 @@ TEST(ZeroLoad, SingleFlitOneHopExactLatency) {
   SimConfig cfg = default_config();
   cfg.packet_length = 1;
   Network net(two_chiplets(), cfg);
-  Rng rng(1);
   net.endpoint(0).set_measurement_window(0, 1000);
 
   Packet p;
@@ -81,10 +80,10 @@ TEST(ZeroLoad, SingleFlitOneHopExactLatency) {
   p.dst_endpoint = 2;  // first endpoint of chiplet 1
   p.length = 1;
   p.gen_time = 0;
-  ASSERT_TRUE(net.endpoint(0).try_enqueue(p));
+  ASSERT_TRUE(net.offer_packet(0, p));
 
   Cycle now = 0;
-  run_until(net, rng, now, 100);
+  run_until(net, now, 100);
   ASSERT_EQ(net.endpoint(2).sink().packets_ejected, 1u);
   // Latency is recorded at the destination endpoint.
   net.endpoint(2).set_measurement_window(0, 1000);
@@ -95,7 +94,6 @@ TEST(ZeroLoad, LatencyValueOneHop) {
   SimConfig cfg = default_config();
   cfg.packet_length = 1;
   Network net(two_chiplets(), cfg);
-  Rng rng(1);
   net.endpoint(2).set_measurement_window(0, 1000);
 
   Packet p;
@@ -104,10 +102,10 @@ TEST(ZeroLoad, LatencyValueOneHop) {
   p.dst_endpoint = 2;
   p.length = 1;
   p.gen_time = 0;
-  ASSERT_TRUE(net.endpoint(0).try_enqueue(p));
+  ASSERT_TRUE(net.offer_packet(0, p));
 
   Cycle now = 0;
-  run_until(net, rng, now, 100);
+  run_until(net, now, 100);
   ASSERT_EQ(net.endpoint(2).sink().tagged_packets, 1u);
   const Cycle expected = 1 + cfg.router_latency      // source router
                          + cfg.link_latency          // D2D link
@@ -123,7 +121,6 @@ TEST(ZeroLoad, LatencyValueLocalDelivery) {
   SimConfig cfg = default_config();
   cfg.packet_length = 1;
   Network net(two_chiplets(), cfg);
-  Rng rng(1);
   net.endpoint(1).set_measurement_window(0, 1000);
 
   Packet p;
@@ -132,10 +129,10 @@ TEST(ZeroLoad, LatencyValueLocalDelivery) {
   p.dst_endpoint = 1;
   p.length = 1;
   p.gen_time = 0;
-  ASSERT_TRUE(net.endpoint(0).try_enqueue(p));
+  ASSERT_TRUE(net.offer_packet(0, p));
 
   Cycle now = 0;
-  run_until(net, rng, now, 50);
+  run_until(net, now, 50);
   ASSERT_EQ(net.endpoint(1).sink().tagged_packets, 1u);
   EXPECT_EQ(net.endpoint(1).sink().tagged_latency_sum, 5u);
 }
@@ -145,7 +142,6 @@ TEST(ZeroLoad, MultiFlitPacketAddsSerialization) {
   SimConfig cfg = default_config();
   cfg.packet_length = 4;
   Network net(two_chiplets(), cfg);
-  Rng rng(1);
   net.endpoint(2).set_measurement_window(0, 1000);
 
   Packet p;
@@ -154,10 +150,10 @@ TEST(ZeroLoad, MultiFlitPacketAddsSerialization) {
   p.dst_endpoint = 2;
   p.length = 4;
   p.gen_time = 0;
-  ASSERT_TRUE(net.endpoint(0).try_enqueue(p));
+  ASSERT_TRUE(net.offer_packet(0, p));
 
   Cycle now = 0;
-  run_until(net, rng, now, 100);
+  run_until(net, now, 100);
   ASSERT_EQ(net.endpoint(2).sink().tagged_packets, 1u);
   EXPECT_EQ(net.endpoint(2).sink().tagged_latency_sum, 35u + 3u);
 }
@@ -171,7 +167,6 @@ TEST(ZeroLoad, TwoHopPathLatency) {
   SimConfig cfg = default_config();
   cfg.packet_length = 1;
   Network net(g, cfg);
-  Rng rng(1);
   net.endpoint(4).set_measurement_window(0, 1000);
 
   Packet p;
@@ -180,10 +175,10 @@ TEST(ZeroLoad, TwoHopPathLatency) {
   p.dst_endpoint = 4;
   p.length = 1;
   p.gen_time = 0;
-  ASSERT_TRUE(net.endpoint(0).try_enqueue(p));
+  ASSERT_TRUE(net.offer_packet(0, p));
 
   Cycle now = 0;
-  run_until(net, rng, now, 200);
+  run_until(net, now, 200);
   ASSERT_EQ(net.endpoint(4).sink().tagged_packets, 1u);
   EXPECT_EQ(net.endpoint(4).sink().tagged_latency_sum, 65u);
 }
@@ -201,9 +196,9 @@ TEST(Conservation, HoldsThroughoutARandomRun) {
   for (; now < 2000; ++now) {
     for (std::size_t e = 0; e < net.num_endpoints(); ++e) {
       auto pkt = traffic.maybe_generate(static_cast<std::uint16_t>(e), now, rng);
-      if (pkt.has_value()) net.endpoint(e).try_enqueue(*pkt);
+      if (pkt.has_value()) net.offer_packet(e, *pkt);
     }
-    net.step(now, rng);
+    net.step(now);
     if (now % 250 == 0) {
       std::string why;
       ASSERT_TRUE(net.invariants_ok(&why)) << "cycle " << now << ": " << why;
@@ -222,9 +217,9 @@ TEST(Backpressure, SourceQueueCapacityRespected) {
   p.src_endpoint = 0;
   p.dst_endpoint = 2;
   p.length = 4;
-  EXPECT_TRUE(net.endpoint(0).try_enqueue(p));
-  EXPECT_TRUE(net.endpoint(0).try_enqueue(p));
-  EXPECT_FALSE(net.endpoint(0).try_enqueue(p));  // full
+  EXPECT_TRUE(net.offer_packet(0, p));
+  EXPECT_TRUE(net.offer_packet(0, p));
+  EXPECT_FALSE(net.offer_packet(0, p));  // full
 }
 
 TEST(Backpressure, InjectionStallsWithoutCredits) {
@@ -234,14 +229,13 @@ TEST(Backpressure, InjectionStallsWithoutCredits) {
   cfg.buffer_depth = 2;
   cfg.packet_length = 8;
   Network net(two_chiplets(), cfg);
-  Rng rng(5);
   Packet p;
   p.src_endpoint = 0;
   p.dst_endpoint = 2;
   p.length = 8;
-  net.endpoint(0).try_enqueue(p);
+  net.offer_packet(0, p);
   Cycle now = 0;
-  run_until(net, rng, now, 3);
+  run_until(net, now, 3);
   // After 3 cycles at most buffer_depth flits can have been injected.
   EXPECT_LE(net.endpoint(0).flits_injected(),
             static_cast<std::uint64_t>(cfg.buffer_depth));

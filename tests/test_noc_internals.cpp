@@ -216,13 +216,12 @@ TEST(Network, SingleChipletWorks) {
   hm::noc::Network net(Graph(1), SimConfig{});
   EXPECT_EQ(net.num_routers(), 1u);
   EXPECT_EQ(net.num_endpoints(), 2u);
-  hm::noc::Rng rng(1);
   Packet p;
   p.src_endpoint = 0;
   p.dst_endpoint = 1;
   p.length = 4;
-  ASSERT_TRUE(net.endpoint(0).try_enqueue(p));
-  for (hm::noc::Cycle t = 0; t < 50; ++t) net.step(t, rng);
+  ASSERT_TRUE(net.offer_packet(0, p));
+  for (hm::noc::Cycle t = 0; t < 50; ++t) net.step(t);
   EXPECT_EQ(net.endpoint(1).sink().packets_ejected, 1u);
 }
 
@@ -239,13 +238,12 @@ TEST(Network, MoreEndpointsPerChiplet) {
   cfg.endpoints_per_chiplet = 4;
   hm::noc::Network net(g, cfg);
   EXPECT_EQ(net.num_endpoints(), 8u);
-  hm::noc::Rng rng(1);
   Packet p;
   p.src_endpoint = 1;
   p.dst_endpoint = 6;  // chiplet 1, local endpoint 2
   p.length = 2;
-  ASSERT_TRUE(net.endpoint(1).try_enqueue(p));
-  for (hm::noc::Cycle t = 0; t < 100; ++t) net.step(t, rng);
+  ASSERT_TRUE(net.offer_packet(1, p));
+  for (hm::noc::Cycle t = 0; t < 100; ++t) net.step(t);
   EXPECT_EQ(net.endpoint(6).sink().packets_ejected, 1u);
 }
 

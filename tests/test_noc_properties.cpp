@@ -181,8 +181,11 @@ TEST(Determinism, DifferentSeedsSimilarThroughput) {
   b.seed = 2;
   Simulator sa(arr.graph(), a);
   Simulator sb(arr.graph(), b);
-  const double ta = sa.run_throughput(1.0, 4000, 4000).accepted_flit_rate;
-  const double tb = sb.run_throughput(1.0, 4000, 4000).accepted_flit_rate;
+  // Long windows: the overdriven regime is chaotic, and short measurement
+  // windows leave enough variance for unlucky seed pairs to sit at the two
+  // extremes of the scatter and trip the tolerance.
+  const double ta = sa.run_throughput(1.0, 8000, 16000).accepted_flit_rate;
+  const double tb = sb.run_throughput(1.0, 8000, 16000).accepted_flit_rate;
   EXPECT_NEAR(ta, tb, 0.15 * std::max(ta, tb));
 }
 

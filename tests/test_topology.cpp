@@ -229,9 +229,9 @@ TEST(RingRouter, FlitConservationUnderSaturation) {
   for (int c = 0; c < 3000; ++c) {
     for (std::size_t e = 0; e < sim.network().num_endpoints(); ++e) {
       auto p = traffic.maybe_generate(static_cast<std::uint16_t>(e), now, rng);
-      if (p.has_value()) (void)sim.network().endpoint(e).try_enqueue(*p);
+      if (p.has_value()) (void)sim.network().offer_packet(e, *p);
     }
-    sim.network().step(now, rng);
+    sim.network().step(now);
     ++now;
     if (c % 500 == 0) {
       ASSERT_TRUE(sim.network().invariants_ok(&why)) << "cycle " << c << ": "

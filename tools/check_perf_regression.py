@@ -4,8 +4,12 @@
 Compares a freshly measured perf JSON against the committed baseline and
 fails (exit 1) when:
 
-  * a guarded wall-clock metric (sim_cycle.* or sweep21.wall_s.t1) regressed
-    by more than --max-regression (default 1.25, i.e. >25% slower), or
+  * a guarded metric (sim_cycle.*, sim_cycle_lowload.*, sat.probes.*, or
+    sweep21.wall_s.t1) regressed by more than --max-regression (default
+    1.25, i.e. >25% slower/worse) — direction-aware: for the
+    sim_cycle_lowload.speedup.* ratios a *drop* below
+    baseline / max-regression is the failure, while for durations and
+    probe counts a rise above baseline * max-regression is, or
   * the 8-thread sweep speedup dropped below --min-speedup-t8 (default 2.0).
 
 search.* metrics (the arrangement-search subsystem: incremental-rebuild
@@ -35,8 +39,11 @@ import json
 import os
 import sys
 
-GUARDED_PREFIXES = ("sim_cycle.",)
+GUARDED_PREFIXES = ("sim_cycle.", "sim_cycle_lowload.", "sat.probes.")
 GUARDED_KEYS = ("sweep21.wall_s.t1",)
+# Guarded metrics where *higher* is better (speedup ratios): a drop below
+# baseline / max-regression is the failure, not a rise above it.
+GUARDED_HIGHER_IS_BETTER = ("sim_cycle_lowload.speedup.",)
 # Compared and reported, but never fail the gate (first-PR baselines).
 # Ratio-style search metrics where *lower* is the regression direction are
 # listed separately so the warning fires the right way around.
@@ -92,7 +99,7 @@ def main():
             continue
         ratio = fresh[key] / baseline[key] if baseline[key] > 0 else 1.0
         # For throughput/speedup-style metrics a *drop* is the regression.
-        if key.startswith(WARN_HIGHER_IS_BETTER):
+        if key.startswith(WARN_HIGHER_IS_BETTER + GUARDED_HIGHER_IS_BETTER):
             regressed = ratio < 1.0 / args.max_regression
         else:
             regressed = ratio > args.max_regression
