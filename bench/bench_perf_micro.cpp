@@ -19,6 +19,7 @@
 #include "core/arrangement.hpp"
 #include "core/evaluator.hpp"
 #include "explore/sweep.hpp"
+#include "faults/fault_plan.hpp"
 #include "graph/algorithms.hpp"
 #include "noc/simulator.hpp"
 #include "noc/topology.hpp"
@@ -257,6 +258,38 @@ void bench_telemetry_overhead() {
   g_metrics["telemetry.overhead_ratio"] = ratio;
 }
 
+void bench_fault_overhead() {
+  // The fault subsystem's contract (src/faults/): an armed-but-empty
+  // FaultPlan must be bit-identical to an unarmed run (test_faults pins
+  // the behavior) and nearly free in time — the controller adds one
+  // next-event check per tick and a lazy recovery sample. This measures a
+  // fixed-rate run with and without the empty plan armed and records the
+  // armed/plain ratio (ISSUE 8 acceptance: <= 1.05). Gated warn-only in
+  // check_perf_regression.py, like the telemetry ratio.
+  const auto arr = make_arrangement(ArrangementType::kHexaMesh, 37);
+  const auto topo = hm::noc::TopologyContext::acquire(arr.graph());
+  const hm::noc::Cycle warmup = g_smoke ? 300 : 1000;
+  const hm::noc::Cycle measure = g_smoke ? 800 : 4000;
+  hm::noc::SimConfig cfg;
+
+  const auto plain_run = [&] {
+    hm::noc::Simulator sim(topo, cfg);
+    (void)sim.run_throughput(0.25, warmup, measure);
+  };
+  const auto armed_run = [&] {
+    hm::noc::Simulator sim(topo, cfg);
+    (void)sim.run_resilience(0.25, hm::faults::FaultPlan{}, warmup, measure);
+  };
+
+  const double plain_s = time_median(plain_run, g_smoke ? 0.1 : 0.6, 3);
+  const double armed_s = time_median(armed_run, g_smoke ? 0.1 : 0.6, 3);
+  const double ratio = plain_s > 0.0 ? armed_s / plain_s : 1.0;
+  std::printf("%-36s %12.3f x (armed %.2f ms, plain %.2f ms)\n",
+              "fault.overhead_ratio", ratio, armed_s * 1e3, plain_s * 1e3);
+  // A ratio, not a duration: recorded without report()'s "_ns" suffix.
+  g_metrics["fault.overhead_ratio"] = ratio;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,6 +306,7 @@ int main(int argc, char** argv) {
   bench_saturation_probes();
   bench_evaluate_analytic();
   bench_telemetry_overhead();
+  bench_fault_overhead();
   hm::bench::update_perf_json(g_metrics);
   return 0;
 }

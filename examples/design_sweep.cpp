@@ -18,6 +18,9 @@
 //                                           --telemetry the JSON gains a
 //                                           "telemetry" snapshot block)
 //   ./design_sweep --search S [N...]        add tempering-searched points
+//   ./design_sweep --faults K [N...]        score every point under K seeded
+//                                           single-link kills too (adds the
+//                                           fault_* columns to the export)
 //   ./design_sweep --telemetry [N...]       print the metrics snapshot
 //   ./design_sweep --trace out.json [N...]  record a Chrome trace (Perfetto)
 #include <cstdio>
@@ -42,11 +45,13 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sweep;
   unsigned threads = 0;  // hardware concurrency
   std::size_t search_steps = 0;
+  std::size_t fault_kills = 0;
   std::string csv_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 ||
         std::strcmp(argv[i], "--csv") == 0 ||
-        std::strcmp(argv[i], "--search") == 0) {
+        std::strcmp(argv[i], "--search") == 0 ||
+        std::strcmp(argv[i], "--faults") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", argv[i]);
         return 1;
@@ -56,6 +61,9 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--search") == 0) {
         search_steps =
             hm::cli::require_size(argv[++i], "--search steps", 1, 1000000);
+      } else if (std::strcmp(argv[i], "--faults") == 0) {
+        fault_kills =
+            hm::cli::require_size(argv[++i], "--faults kill count", 1, 64);
       } else {
         csv_path = argv[++i];
       }
@@ -70,6 +78,9 @@ int main(int argc, char** argv) {
   params.latency_measure = 6000;  // quick interactive settings
   params.throughput_warmup = 5000;
   params.throughput_measure = 5000;
+  if (fault_kills > 0) {
+    params.faults.single_link_kills = static_cast<int>(fault_kills);
+  }
 
   hm::explore::SweepSpec spec;
   spec.types = {ArrangementType::kGrid, ArrangementType::kHexaMesh};
@@ -149,6 +160,18 @@ int main(int argc, char** argv) {
                   h.saturation_throughput_bps / 1e12,
                   hm_wins ? "HexaMesh" : "mixed", -100.0 * lat_gain,
                   100.0 * thr_gain);
+    }
+
+    if (fault_kills > 0) {
+      std::printf("\nresilience (%zu single-link kills, worst case):\n",
+                  fault_kills);
+      for (std::size_t n : sweep) {
+        const auto& g = find(ArrangementType::kGrid, n).result;
+        const auto& h = find(ArrangementType::kHexaMesh, n).result;
+        std::printf("%4zu | grid %6.2f Tb/s | hexamesh %6.2f Tb/s\n", n,
+                    g.fault_robust_throughput_bps / 1e12,
+                    h.fault_robust_throughput_bps / 1e12);
+      }
     }
 
     if (search_steps > 0) {

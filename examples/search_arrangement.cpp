@@ -11,9 +11,12 @@
 //       --tempering K       parallel tempering with K replicas
 //       --exchange I        tempering swap attempt every I steps (default 4)
 //       --objective O       throughput (default) | latency |
-//                           throughput-per-area (thr per mm^2 of D2D links)
+//                           throughput-per-area (thr per mm^2 of D2D links) |
+//                           robust (worst-case thr over a fault scenario)
 //       --area-weight W     scalarization knob of throughput-per-area
 //       --latency           shorthand for --objective latency
+//       --fault-kills K     robust objective: score each candidate under K
+//                           seeded single-link kills (default 2)
 //       --threads K         candidate-evaluation concurrency (default: hw)
 //       --seed S            search RNG base seed (default 42)
 //       --trace out.csv     export the search trace (.json for JSON)
@@ -40,7 +43,8 @@ void usage_and_exit(const char* argv0) {
       stderr,
       "usage: %s [grid|brickwall|hexamesh] [N] [steps] [--anneal] "
       "[--tempering K] [--exchange I] [--objective thr|latency|"
-      "thr-per-area] [--area-weight W] [--latency] [--threads K] "
+      "thr-per-area|robust] [--area-weight W] [--latency] "
+      "[--fault-kills K] [--threads K] "
       "[--seed S] [--trace out.csv] [--telemetry] "
       "[--chrome-trace out.json]\n",
       argv0);
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   bool exchange_set = false;
   bool anneal = false;
   hm::search::ObjectiveSpec objective;
+  int fault_kills = 0;  // 0 = objective default (robust: 2 single kills)
   unsigned threads = 0;
   unsigned long long seed = 42;
   std::string trace_path;
@@ -94,6 +99,8 @@ int main(int argc, char** argv) {
         objective.kind = hm::search::Objective::kZeroLoadLatency;
       } else if (o == "thr-per-area" || o == "throughput-per-area") {
         objective.kind = hm::search::Objective::kThroughputPerLinkArea;
+      } else if (o == "robust" || o == "robust-throughput") {
+        objective.kind = hm::search::Objective::kRobustThroughput;
       } else {
         usage_and_exit(argv[0]);
       }
@@ -102,6 +109,9 @@ int main(int argc, char** argv) {
           need_value("--area-weight"), "--area-weight", 0.0, 16.0);
     } else if (std::strcmp(argv[i], "--latency") == 0) {
       objective.kind = hm::search::Objective::kZeroLoadLatency;
+    } else if (std::strcmp(argv[i], "--fault-kills") == 0) {
+      fault_kills = static_cast<int>(hm::cli::require_size(
+          need_value("--fault-kills"), "--fault-kills", 1, 64));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = hm::cli::require_unsigned(need_value("--threads"),
                                           "--threads", 0, 4096);
@@ -151,15 +161,27 @@ int main(int argc, char** argv) {
     return 1;  // unreachable
   }
 
+  if (fault_kills > 0 &&
+      objective.kind != hm::search::Objective::kRobustThroughput) {
+    std::fprintf(stderr,
+                 "--fault-kills requires --objective robust (other "
+                 "objectives never run the fault scenario)\n");
+    return 1;
+  }
+
   // Interactive-speed measurement windows (the defaults are paper-length).
   core::EvaluationParams params;
   params.throughput_warmup = 2000;
   params.throughput_measure = 2000;
   params.latency_measure = 6000;
+  if (fault_kills > 0) params.faults.single_link_kills = fault_kills;
 
+  const bool robust =
+      objective.kind == hm::search::Objective::kRobustThroughput;
   const bool thr =
       objective.kind != hm::search::Objective::kZeroLoadLatency;
   const auto value = [&](const core::EvaluationResult& r) {
+    if (robust) return r.fault_robust_throughput_bps / 1e12;
     return thr ? r.saturation_throughput_bps / 1e12
                : r.zero_load_latency_cycles;
   };

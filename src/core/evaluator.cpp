@@ -209,6 +209,42 @@ EvaluationResult evaluate_simulation(
         r.saturation_fraction * r.full_global_bandwidth_bps;
   };
 
+  // Resilience under the fault scenario (worst case over its plan set).
+  // Each plan runs on a fresh, deterministically seeded simulator, and the
+  // plans run in a fixed order, so the aggregate is bit-reproducible no
+  // matter how many threads drive the surrounding sweep.
+  auto resilience_run = [&] {
+    params.faults.validate();
+    const std::vector<faults::FaultPlan> plans =
+        params.faults.plans_for(arr.graph());
+    double worst_rate = 0.0;
+    noc::Cycle slowest_recovery = 0;
+    bool all_recovered = true;
+    for (const faults::FaultPlan& plan : plans) {
+      noc::Simulator sim(noc::SimulationArena::local(), topology, params.sim);
+      sim.set_traffic(traffic);
+      const faults::ResilienceStats stats =
+          sim.run_resilience(params.faults.offered_rate, plan,
+                             params.faults.warmup, params.faults.measure);
+      if (r.fault_plans_run == 0 || stats.degraded_rate < worst_rate) {
+        worst_rate = stats.degraded_rate;
+      }
+      if (stats.recovered) {
+        slowest_recovery = std::max(slowest_recovery, stats.recovery_cycles);
+      } else {
+        all_recovered = false;
+      }
+      r.fault_packets_lost += stats.packets_lost;
+      ++r.fault_plans_run;
+    }
+    if (r.fault_plans_run > 0) {
+      r.fault_degraded_throughput = worst_rate;
+      r.fault_robust_throughput_bps =
+          worst_rate * r.full_global_bandwidth_bps;
+      r.fault_recovery_cycles = all_recovered ? slowest_recovery : -1;
+    }
+  };
+
   // The two measurements are independent (each owns a fresh network and a
   // deterministically seeded RNG), so they can run as one parallel batch;
   // the saturation search speculates its own probes through the same
@@ -218,10 +254,12 @@ EvaluationResult evaluate_simulation(
     std::vector<std::function<void()>> jobs;
     jobs.push_back(latency_run);
     jobs.push_back(saturation_run);
+    if (params.faults.enabled()) jobs.push_back(resilience_run);
     executor->run_batch(jobs);
   } else {
     if (params.measure_latency) latency_run();
     if (params.measure_saturation) saturation_run();
+    if (params.faults.enabled()) resilience_run();
   }
   return r;
 }

@@ -14,6 +14,7 @@
 #include "core/arrangement.hpp"
 #include "core/link_model.hpp"
 #include "core/shape.hpp"
+#include "faults/fault_plan.hpp"
 #include "noc/config.hpp"
 #include "noc/flit.hpp"
 #include "noc/traffic.hpp"
@@ -58,6 +59,12 @@ struct EvaluationParams {
   /// of the simulation budget; skipped fields stay zero.
   bool measure_latency = true;
   bool measure_saturation = true;
+
+  /// Fault-injection scenario (disabled by default). When enabled,
+  /// evaluate() additionally runs one resilience simulation per generated
+  /// plan and reports the worst case over the plan set — the robust
+  /// objective the search can optimize.
+  faults::FaultScenarioSpec faults;
 };
 
 /// Everything the paper reports per design point.
@@ -84,6 +91,20 @@ struct EvaluationResult {
   double saturation_fraction = 0.0;
   double saturation_throughput_bps = 0.0; ///< fraction x full global BW
   bool latency_run_drained = false;
+
+  // Fault injection & resilience (worst case over params.faults' plan set;
+  // zeros/-1 when the scenario is disabled).
+  std::size_t fault_plans_run = 0;
+  /// Worst (minimum over plans) degraded delivered rate,
+  /// flits/cycle/endpoint — the robust counterpart of saturation_fraction.
+  double fault_degraded_throughput = 0.0;
+  /// fault_degraded_throughput x full global bandwidth: the worst-case
+  /// delivered bandwidth under the fault scenario.
+  double fault_robust_throughput_bps = 0.0;
+  /// Slowest recovery over the plan set; -1 when any plan failed to reach
+  /// the recovery threshold within its run.
+  noc::Cycle fault_recovery_cycles = -1;
+  std::uint64_t fault_packets_lost = 0;  ///< summed over plans
 };
 
 /// Per-link bump-sector area A_B for an arrangement whose chiplets have area

@@ -60,14 +60,31 @@ std::string arrangement_name(const SweepPoint& p) {
   return p.custom ? p.label : core::to_string(p.type);
 }
 
+/// Fault columns appear only when some record ran with a fault scenario,
+/// so fault-free exports (goldens included) stay byte-identical to the
+/// pre-fault format.
+bool any_faults(const std::vector<SweepRecord>& records) {
+  for (const auto& rec : records) {
+    if (rec.point.params.faults.enabled()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 void write_csv(std::ostream& os, const std::vector<SweepRecord>& records) {
+  const bool faults = any_faults(records);
   os << "index,arrangement,regularity,chiplets,param_set,traffic,seed,"
         "diameter,avg_hop_distance,bisection_links,chiplet_area_mm2,"
         "link_area_mm2,per_link_bandwidth_bps,full_global_bandwidth_bps,"
         "zero_load_latency_cycles,latency_run_drained,saturation_fraction,"
-        "saturation_throughput_bps,analytic_only,error\n";
+        "saturation_throughput_bps";
+  if (faults) {
+    os << ",fault_scenario,fault_plans_run,fault_degraded_throughput,"
+          "fault_robust_throughput_bps,fault_recovery_cycles,"
+          "fault_packets_lost";
+  }
+  os << ",analytic_only,error\n";
   for (const auto& rec : records) {
     const auto& p = rec.point;
     const auto& r = rec.result;
@@ -81,8 +98,15 @@ void write_csv(std::ostream& os, const std::vector<SweepRecord>& records) {
        << fmt(r.full_global_bandwidth_bps) << ','
        << fmt(r.zero_load_latency_cycles) << ','
        << (r.latency_run_drained ? 1 : 0) << ',' << fmt(r.saturation_fraction)
-       << ',' << fmt(r.saturation_throughput_bps) << ','
-       << (rec.analytic_only ? 1 : 0) << ',' << csv_escape(rec.error) << '\n';
+       << ',' << fmt(r.saturation_throughput_bps);
+    if (faults) {
+      os << ',' << csv_escape(p.params.faults.describe()) << ','
+         << r.fault_plans_run << ',' << fmt(r.fault_degraded_throughput)
+         << ',' << fmt(r.fault_robust_throughput_bps) << ','
+         << r.fault_recovery_cycles << ',' << r.fault_packets_lost;
+    }
+    os << ',' << (rec.analytic_only ? 1 : 0) << ',' << csv_escape(rec.error)
+       << '\n';
   }
 }
 
@@ -93,6 +117,7 @@ std::string to_csv(const std::vector<SweepRecord>& records) {
 }
 
 void write_json(std::ostream& os, const std::vector<SweepRecord>& records) {
+  const bool faults = any_faults(records);
   os << "[\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& rec = records[i];
@@ -119,8 +144,19 @@ void write_json(std::ostream& os, const std::vector<SweepRecord>& records) {
        << (r.latency_run_drained ? "true" : "false")
        << ", \"saturation_fraction\": " << fmt(r.saturation_fraction)
        << ", \"saturation_throughput_bps\": "
-       << fmt(r.saturation_throughput_bps)
-       << ", \"analytic_only\": " << (rec.analytic_only ? "true" : "false")
+       << fmt(r.saturation_throughput_bps);
+    if (faults) {
+      os << ", \"fault_scenario\": \""
+         << json_escape(p.params.faults.describe())
+         << "\", \"fault_plans_run\": " << r.fault_plans_run
+         << ", \"fault_degraded_throughput\": "
+         << fmt(r.fault_degraded_throughput)
+         << ", \"fault_robust_throughput_bps\": "
+         << fmt(r.fault_robust_throughput_bps)
+         << ", \"fault_recovery_cycles\": " << r.fault_recovery_cycles
+         << ", \"fault_packets_lost\": " << r.fault_packets_lost;
+    }
+    os << ", \"analytic_only\": " << (rec.analytic_only ? "true" : "false")
        << ", \"error\": \"" << json_escape(rec.error) << "\"}"
        << (i + 1 < records.size() ? ",\n" : "\n");
   }

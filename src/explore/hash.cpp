@@ -50,6 +50,32 @@ std::uint64_t hash_simulation_params(const core::EvaluationParams& params) {
       .mix(params.throughput_measure)
       .mix_b(params.measure_latency)
       .mix_b(params.measure_saturation);
+  // Fault scenario: every field participates — two jobs differing only in
+  // their fault setup must never collide in the sweep's result cache.
+  const faults::FaultScenarioSpec& f = params.faults;
+  h.mix_i(f.single_link_kills)
+      .mix_i(f.storm_kills)
+      .mix(f.seed)
+      .mix_i(f.kill_at)
+      .mix_i(f.storm_spacing)
+      .mix_i(f.repair_after)
+      .mix_i(f.reconvergence_delay)
+      .mix_f(f.offered_rate)
+      .mix_i(f.warmup)
+      .mix_i(f.measure)
+      .mix_f(f.recovery_threshold)
+      .mix_i(f.recovery_window)
+      .mix(f.explicit_plans.size());
+  for (const faults::FaultPlan& plan : f.explicit_plans) {
+    h.mix_b(plan.allow_partition)
+        .mix_i(plan.reconvergence_delay)
+        .mix_f(plan.recovery_threshold)
+        .mix_i(plan.recovery_window)
+        .mix(plan.events.size());
+    for (const faults::FaultEvent& e : plan.events) {
+      h.mix_i(e.at).mix(static_cast<std::uint64_t>(e.kind)).mix(e.a).mix(e.b);
+    }
+  }
   return h.value();
 }
 

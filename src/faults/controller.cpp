@@ -1,0 +1,346 @@
+#include "faults/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "telemetry/telemetry.hpp"
+
+namespace hm::faults {
+
+namespace {
+
+using graph::NodeId;
+
+[[nodiscard]] std::pair<NodeId, NodeId> canon(NodeId a, NodeId b) {
+  return a < b ? std::pair<NodeId, NodeId>{a, b}
+               : std::pair<NodeId, NodeId>{b, a};
+}
+
+}  // namespace
+
+FaultController::FaultController(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void FaultController::arm(noc::Network& net, noc::Cycle now) {
+  assert(!armed_);
+  base_topo_ = net.topology_ptr();
+  plan_.validate(base_topo_->graph());
+  armed_ = true;
+  arm_cycle_ = now;
+  eps_ = static_cast<std::size_t>(net.config().endpoints_per_chiplet);
+
+  const std::size_t n = base_topo_->graph().node_count();
+  alive_.assign(n, 1);
+  routable_.assign(n, 1);
+  killed_links_.clear();
+  identity_topo_ = base_topo_;
+  wired_.clear();
+  for (const Edge& e : base_topo_->graph().edges()) wired_.insert(e);
+
+  window_end_ = now + plan_.recovery_window;
+  arm_delivered_ = net.total_flits_ejected();
+  window_start_count_ = arm_delivered_;
+}
+
+noc::Cycle FaultController::next_event_cycle() const noexcept {
+  noc::Cycle next = std::numeric_limits<noc::Cycle>::max();
+  if (next_event_ < plan_.events.size()) {
+    next = arm_cycle_ + plan_.events[next_event_].at;
+  }
+  if (next_swap_ < swaps_.size() && swaps_[next_swap_].at < next) {
+    next = swaps_[next_swap_].at;
+  }
+  return next;
+}
+
+void FaultController::on_tick(noc::Network& net, noc::Cycle now) {
+  // Sample first: the delivered counter covers cycles < now, so a window
+  // ending exactly at `now` closes with the exact count. Then install due
+  // table swaps (scheduled by earlier batches) before applying any batch
+  // due this very cycle, which may schedule its own later swap.
+  sample_recovery(net, now);
+  while (next_swap_ < swaps_.size() && swaps_[next_swap_].at <= now) {
+    net.set_degraded_routing(swaps_[next_swap_].view);
+    ++next_swap_;
+  }
+  while (next_event_ < plan_.events.size() &&
+         arm_cycle_ + plan_.events[next_event_].at <= now) {
+    apply_batch(net, now);
+  }
+}
+
+void FaultController::apply_batch(noc::Network& net, noc::Cycle now) {
+  // Consume every event sharing the batch's scheduled time so simultaneous
+  // kills become one transition (one routable recompute, one excision).
+  const noc::Cycle at = plan_.events[next_event_].at;
+  bool any_kill = false;
+  while (next_event_ < plan_.events.size() &&
+         plan_.events[next_event_].at == at) {
+    const FaultEvent& e = plan_.events[next_event_++];
+    switch (e.kind) {
+      case FaultKind::kLinkKill:
+        killed_links_.insert(canon(e.a, e.b));
+        ++stats_.links_killed;
+        any_kill = true;
+        break;
+      case FaultKind::kRouterKill:
+        alive_[e.a] = 0;
+        ++stats_.routers_killed;
+        any_kill = true;
+        break;
+      case FaultKind::kLinkRepair:
+        killed_links_.erase(canon(e.a, e.b));
+        ++stats_.repairs;
+        break;
+      case FaultKind::kRouterRepair:
+        alive_[e.a] = 1;
+        ++stats_.repairs;
+        break;
+    }
+  }
+
+  if (any_kill && stats_.first_kill_cycle < 0) {
+    stats_.first_kill_cycle = now - arm_cycle_;  // reported relative to arm
+    if (!have_pre_rate_) {
+      // No full pre-fault window closed yet: fall back to the cumulative
+      // healthy-phase rate so recovery has a meaningful baseline.
+      const noc::Cycle span = now - arm_cycle_;
+      const std::uint64_t delivered =
+          net.total_flits_ejected() - arm_delivered_;
+      stats_.pre_fault_rate =
+          span > 0 ? static_cast<double>(delivered) /
+                         (static_cast<double>(span) *
+                          static_cast<double>(net.num_endpoints()))
+                   : 0.0;
+      have_pre_rate_ = true;
+    }
+  }
+
+  // The network-facing kill/repair lists are the symmetric difference of
+  // the wired sets before/after the batch. This makes islands power down
+  // wholesale (their internal links are unwired too, so no credits can
+  // drift while they are dark) and come back fully rewired on revival.
+  const std::vector<char> routable = compute_routable();
+  const std::set<Edge> wired_after = wired_set(routable);
+  std::vector<Edge> kills;
+  std::vector<Edge> repairs;
+  for (const Edge& e : wired_) {
+    if (wired_after.count(e) == 0) kills.push_back(e);
+  }
+  for (const Edge& e : wired_after) {
+    if (wired_.count(e) == 0) repairs.push_back(e);
+  }
+
+  const noc::Network::FaultOutcome outcome =
+      net.fault_transition(kills, repairs, routable);
+  stats_.flits_dropped += outcome.flits_dropped;
+  stats_.packets_lost += outcome.packets_lost;
+  stats_.packets_flushed += outcome.packets_flushed;
+  stats_.packets_rerouted += outcome.packets_rerouted;
+
+  wired_ = wired_after;
+  routable_ = routable;
+
+  const noc::DegradedRouting* view = build_view(routable);
+  if (plan_.reconvergence_delay <= 0) {
+    net.set_degraded_routing(view);
+  } else {
+    swaps_.push_back(PendingSwap{now + plan_.reconvergence_delay, view});
+  }
+}
+
+std::vector<char> FaultController::compute_routable() const {
+  const graph::Graph& g = base_topo_->graph();
+  const std::size_t n = g.node_count();
+  std::vector<int> comp(n, -1);
+  std::vector<std::size_t> comp_size;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (alive_[s] == 0 || comp[s] >= 0) continue;
+    const int c = static_cast<int>(comp_size.size());
+    comp_size.push_back(0);
+    comp[s] = c;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++comp_size[static_cast<std::size_t>(c)];
+      for (const NodeId nb : g.neighbors(v)) {
+        if (alive_[nb] == 0 || comp[nb] >= 0) continue;
+        if (killed_links_.count(canon(v, nb)) != 0) continue;
+        comp[nb] = c;
+        stack.push_back(nb);
+      }
+    }
+  }
+  // Principal component: largest; ties go to the first discovered, i.e.
+  // the one containing the lowest router id (components are found in
+  // ascending seed order).
+  int best = -1;
+  std::size_t best_size = 0;
+  for (std::size_t c = 0; c < comp_size.size(); ++c) {
+    if (comp_size[c] > best_size) {
+      best = static_cast<int>(c);
+      best_size = comp_size[c];
+    }
+  }
+  std::vector<char> routable(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    routable[v] = comp[v] >= 0 && comp[v] == best ? 1 : 0;
+  }
+  return routable;
+}
+
+std::set<FaultController::Edge> FaultController::wired_set(
+    const std::vector<char>& routable) const {
+  std::set<Edge> out;
+  for (const Edge& e : base_topo_->graph().edges()) {
+    if (routable[e.first] != 0 && routable[e.second] != 0 &&
+        killed_links_.count(e) == 0) {
+      out.insert(e);
+    }
+  }
+  return out;
+}
+
+const noc::DegradedRouting* FaultController::build_view(
+    const std::vector<char>& routable) {
+  const graph::Graph& g = base_topo_->graph();
+  const std::size_t n = g.node_count();
+  const bool all_routable = std::all_of(
+      routable.begin(), routable.end(), [](char c) { return c != 0; });
+  if (all_routable && killed_links_.empty()) {
+    identity_topo_ = base_topo_;  // back to full health
+    return nullptr;
+  }
+
+  auto view = std::make_unique<noc::DegradedRouting>();
+  view->live_id.assign(n, noc::DegradedRouting::kDead);
+  view->port_map.resize(n);
+
+  if (all_routable) {
+    // Link-only degradation: same vertex set, so the routing tables can be
+    // rebuilt incrementally from the previous live topology (the delta is
+    // this batch's kills/repairs). After a compaction the chain is broken
+    // and the live graph is re-acquired from scratch once.
+    if (identity_topo_ == nullptr) {
+      graph::Graph live(n);
+      for (const Edge& e : g.edges()) {
+        if (killed_links_.count(e) == 0) live.add_edge(e.first, e.second);
+      }
+      identity_topo_ = noc::TopologyContext::acquire(live);
+    } else {
+      noc::GraphEdit edit;
+      const graph::Graph& prev = identity_topo_->graph();
+      for (const Edge& e : g.edges()) {
+        const bool now_wired = killed_links_.count(e) == 0;
+        const bool was_wired = prev.has_edge(e.first, e.second);
+        if (was_wired && !now_wired) edit.removed.push_back(e);
+        if (!was_wired && now_wired) edit.added.push_back(e);
+      }
+      identity_topo_ = noc::TopologyContext::rebuild_from(identity_topo_, edit);
+    }
+    view->topo = identity_topo_;
+    for (NodeId r = 0; r < n; ++r) {
+      view->live_id[r] = r;
+      const std::span<const NodeId> nbrs = g.neighbors(r);
+      for (std::size_t p = 0; p < nbrs.size(); ++p) {
+        if (killed_links_.count(canon(r, nbrs[p])) == 0) {
+          view->port_map[r].push_back(static_cast<std::uint8_t>(p));
+        }
+      }
+    }
+  } else {
+    // Compaction: routable routers are renumbered in ascending id order.
+    // The relabeling is monotone, so each live router's sorted-adjacency
+    // order is preserved and live port k maps to its k-th surviving
+    // physical neighbor — port_map below is exactly that walk.
+    identity_topo_ = nullptr;
+    std::uint32_t next = 0;
+    for (NodeId r = 0; r < n; ++r) {
+      if (routable[r] != 0) view->live_id[r] = next++;
+    }
+    if (next > 0) {
+      graph::Graph live(next);
+      for (const Edge& e : g.edges()) {
+        if (routable[e.first] != 0 && routable[e.second] != 0 &&
+            killed_links_.count(e) == 0) {
+          live.add_edge(view->live_id[e.first], view->live_id[e.second]);
+        }
+      }
+      view->topo = noc::TopologyContext::acquire(live);
+    }
+    for (NodeId r = 0; r < n; ++r) {
+      if (routable[r] == 0) continue;
+      const std::span<const NodeId> nbrs = g.neighbors(r);
+      for (std::size_t p = 0; p < nbrs.size(); ++p) {
+        if (routable[nbrs[p]] != 0 &&
+            killed_links_.count(canon(r, nbrs[p])) == 0) {
+          view->port_map[r].push_back(static_cast<std::uint8_t>(p));
+        }
+      }
+    }
+  }
+
+  views_.push_back(std::move(view));
+  return views_.back().get();
+}
+
+void FaultController::sample_recovery(const noc::Network& net,
+                                      noc::Cycle now) {
+  if (done_sampling_) return;
+  // Lazy catch-up is exact: the network is quiescent over any fast-forward
+  // skip, so the delivered counter is constant across every window closed
+  // in arrears.
+  while (!done_sampling_ && window_end_ <= now) {
+    const std::uint64_t delivered = net.total_flits_ejected();
+    const double rate =
+        static_cast<double>(delivered - window_start_count_) /
+        (static_cast<double>(plan_.recovery_window) *
+         static_cast<double>(net.num_endpoints()));
+    if (stats_.first_kill_cycle < 0) {
+      stats_.pre_fault_rate = rate;
+      have_pre_rate_ = true;
+    } else {
+      if (!have_degraded_ || rate < stats_.degraded_rate) {
+        stats_.degraded_rate = rate;
+        have_degraded_ = true;
+      }
+      if (stats_.pre_fault_rate > 0.0 &&
+          rate >= plan_.recovery_threshold * stats_.pre_fault_rate) {
+        stats_.recovered = true;
+        stats_.recovery_cycles =
+            window_end_ - (arm_cycle_ + stats_.first_kill_cycle);
+        done_sampling_ = true;
+      }
+    }
+    window_start_count_ = delivered;
+    window_end_ += plan_.recovery_window;
+  }
+}
+
+void FaultController::flush_telemetry() const {
+  if (!telemetry::enabled()) return;
+  static telemetry::Counter links_killed("fault.links_killed");
+  static telemetry::Counter routers_killed("fault.routers_killed");
+  static telemetry::Counter repairs("fault.repairs");
+  static telemetry::Counter flits_dropped("fault.flits_dropped");
+  static telemetry::Counter packets_lost("fault.packets_lost");
+  static telemetry::Counter packets_rerouted("fault.packets_rerouted");
+  static telemetry::Counter packets_unroutable("fault.packets_unroutable");
+  static telemetry::Counter recoveries("fault.recoveries");
+  static telemetry::Counter recovery_cycles("fault.recovery_cycles");
+  links_killed.add(stats_.links_killed);
+  routers_killed.add(stats_.routers_killed);
+  repairs.add(stats_.repairs);
+  flits_dropped.add(stats_.flits_dropped);
+  packets_lost.add(stats_.packets_lost);
+  packets_rerouted.add(stats_.packets_rerouted);
+  packets_unroutable.add(stats_.packets_unroutable);
+  if (stats_.recovered) {
+    recoveries.add(1);
+    recovery_cycles.add(static_cast<std::uint64_t>(stats_.recovery_cycles));
+  }
+}
+
+}  // namespace hm::faults

@@ -1,0 +1,128 @@
+// Runtime driver of one FaultPlan against a live Network.
+//
+// The controller owns the fault state machine the Network itself stays
+// ignorant of: which routers/links the plan has killed so far, which part of
+// the arrangement is still routable (the principal surviving component),
+// what the degraded routing tables look like, and when they become visible
+// to the routers (the reconvergence window). The Network only ever sees two
+// primitives — fault_transition() with explicit kill/repair/online sets, and
+// set_degraded_routing() with a prebuilt view — so every policy decision
+// (partitions, islands powering down, table-swap delays, recovery windows)
+// lives here in one place.
+//
+// Determinism: events fire at exact absolute cycles (arm cycle + event.at),
+// the Simulator's fast-forward is clamped by next_event_cycle(), and the
+// recovery sampler closes windows lazily from monotone delivered counts, so
+// a faulted run is bit-reproducible across thread counts and skip-idle
+// modes (test_faults pins this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "noc/network.hpp"
+
+namespace hm::faults {
+
+/// Applies a FaultPlan's events to a Network at their scheduled cycles,
+/// rebuilds the degraded routing view after each batch (incrementally via
+/// TopologyContext::rebuild_from while the vertex set is intact), delays its
+/// installation by the plan's reconvergence window, and samples the
+/// delivered-rate windows that define the recovery metrics.
+class FaultController {
+ public:
+  explicit FaultController(FaultPlan plan);
+
+  /// Arms the plan on `net` at cycle `now`: event times become absolute
+  /// (now + event.at) and recovery sampling starts. Validates the plan
+  /// against the network's graph (throws std::invalid_argument).
+  void arm(noc::Network& net, noc::Cycle now);
+
+  /// Next cycle at which the controller changes simulation state (fault
+  /// batch or table swap) — the Simulator must not fast-forward past it.
+  /// Cycle max when nothing is pending; recovery sampling is lazy and
+  /// needs no wakeups.
+  [[nodiscard]] noc::Cycle next_event_cycle() const noexcept;
+
+  /// Runs everything due at `now`. Must be called at the top of each
+  /// processed tick, before traffic generation and the network step.
+  void on_tick(noc::Network& net, noc::Cycle now);
+
+  /// True when both endpoints of a generated packet lie on routable
+  /// routers. The Simulator suppresses (and counts) the rest.
+  [[nodiscard]] bool packet_routable(const noc::Packet& p) const noexcept {
+    return routable_[p.src_endpoint / eps_] != 0 &&
+           routable_[p.dst_endpoint / eps_] != 0;
+  }
+  void note_unroutable_packet() noexcept { ++stats_.packets_unroutable; }
+
+  [[nodiscard]] const ResilienceStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// Adds this run's numbers to the process-wide fault.* telemetry
+  /// counters (no-op while telemetry is disabled).
+  void flush_telemetry() const;
+
+ private:
+  using Edge = std::pair<graph::NodeId, graph::NodeId>;
+
+  struct PendingSwap {
+    noc::Cycle at = 0;
+    const noc::DegradedRouting* view = nullptr;  ///< nullptr: healthy
+  };
+
+  void apply_batch(noc::Network& net, noc::Cycle now);
+  void sample_recovery(const noc::Network& net, noc::Cycle now);
+  /// Routable = alive and inside the principal (largest, lowest-id on
+  /// ties) component of the live graph.
+  [[nodiscard]] std::vector<char> compute_routable() const;
+  /// Edges that should carry traffic given `routable`: present in the base
+  /// graph, not killed, both endpoints routable.
+  [[nodiscard]] std::set<Edge> wired_set(
+      const std::vector<char>& routable) const;
+  /// Builds (and keeps alive) the degraded view matching the current fault
+  /// state; nullptr when the network is back to full health.
+  [[nodiscard]] const noc::DegradedRouting* build_view(
+      const std::vector<char>& routable);
+
+  FaultPlan plan_;
+  bool armed_ = false;
+  noc::Cycle arm_cycle_ = 0;
+  std::size_t next_event_ = 0;  ///< into plan_.events
+  std::size_t eps_ = 1;         ///< endpoints per chiplet
+
+  std::shared_ptr<const noc::TopologyContext> base_topo_;
+  std::vector<char> alive_;    ///< per router: not explicitly killed
+  std::set<Edge> killed_links_;
+  std::vector<char> routable_;
+  std::set<Edge> wired_;       ///< edges currently carrying traffic
+
+  /// Views installed (or pending) on the network; the routers borrow raw
+  /// pointers into these, so they live until the controller dies.
+  std::vector<std::unique_ptr<noc::DegradedRouting>> views_;
+  std::vector<PendingSwap> swaps_;  ///< monotone `at` (constant delay)
+  std::size_t next_swap_ = 0;
+  /// Incremental rebuild chain while the vertex set is intact; null after
+  /// a compaction (re-seeded from scratch on the next link-only state).
+  std::shared_ptr<const noc::TopologyContext> identity_topo_;
+
+  // Recovery sampling: fixed windows [arm + k*W, arm + (k+1)*W), closed
+  // lazily from the monotone delivered-flit counter.
+  noc::Cycle window_end_ = 0;
+  std::uint64_t window_start_count_ = 0;
+  std::uint64_t arm_delivered_ = 0;
+  bool have_pre_rate_ = false;
+  bool have_degraded_ = false;
+  bool done_sampling_ = false;
+
+  ResilienceStats stats_;
+};
+
+}  // namespace hm::faults

@@ -35,6 +35,28 @@ class TimedRing {
   }
   [[nodiscard]] std::size_t in_flight() const { return q_.size(); }
 
+  /// Visits every in-flight payload in FIFO order (fault excision).
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t i = 0; i < q_.size(); ++i) fn(q_[i].v);
+  }
+
+  /// Removes every in-flight payload for which `pred(payload)` is true,
+  /// preserving the order and arrival times of the survivors. Returns the
+  /// number removed. Fault-excision only — O(in_flight) rebuild.
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    const std::size_t before = q_.size();
+    RingQueue<Slot> kept;
+    kept.reserve(q_.capacity());
+    for (std::size_t i = 0; i < before; ++i) {
+      if (!pred(q_[i].v)) kept.push_back(q_[i]);
+    }
+    if (kept.size() == before) return 0;
+    q_ = std::move(kept);
+    return before - q_.size();
+  }
+
   /// Drops everything in flight, keeping the allocation (arena reset).
   void clear() noexcept { q_.clear(); }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -81,6 +82,39 @@ class Endpoint {
   /// Flits belonging to enqueued-but-not-yet-fully-injected packets.
   [[nodiscard]] std::size_t pending_flits() const noexcept;
 
+  // --- Fault-injection hooks (cold path; driven by Network) -----------------
+
+  /// False after the endpoint's router was killed: try_enqueue refuses and
+  /// the Simulator suppresses generated traffic touching the endpoint.
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void fault_set_alive(bool alive) noexcept { alive_ = alive; }
+
+  /// Refunds one injection credit (upstream side of an excised flit).
+  void fault_refund_credit(int vc);
+
+  /// Packet id of the front packet when its serialization already started
+  /// (flits of it are in the network), or -1.
+  [[nodiscard]] std::int64_t mid_serialization_packet() const noexcept {
+    return next_flit_ > 0 && !queue_.empty()
+               ? static_cast<std::int64_t>(queue_.front().id)
+               : -1;
+  }
+
+  /// Aborts the in-progress serialization, dropping the front packet (its
+  /// already-injected flits are the caller's to excise; the rest never
+  /// existed on the wire).
+  void fault_abort_active();
+
+  /// Removes every queued packet `drop` approves (aborting the active
+  /// serialization if the front packet matches). Returns the number
+  /// removed — offered load lost before injection.
+  std::size_t fault_flush_queue(const std::function<bool(const Packet&)>& drop);
+
+  /// Restores the flow-control state of a killed/repaired endpoint to the
+  /// fresh-build state (full credits, no active packet). Queue and
+  /// statistics are untouched.
+  void fault_reset_flow_state();
+
  private:
   std::uint16_t id_;
   SimConfig cfg_;
@@ -99,6 +133,7 @@ class Endpoint {
   SinkStats sink_;
   Cycle window_begin_ = 0;
   Cycle window_end_ = std::numeric_limits<Cycle>::min();
+  bool alive_ = true;  ///< cleared when the endpoint's router is killed
 };
 
 }  // namespace hm::noc

@@ -1,7 +1,9 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace hm::noc {
 
@@ -317,6 +319,31 @@ bool Network::quiescent() const {
 }
 
 void Network::reset() {
+  if (fault_dirty_) {
+    // Fault transitions detach channel pointers and install degraded
+    // routing views; a reset network must match a fresh build bit for bit,
+    // so re-run the construction wiring before the state rewind.
+    for (auto& link : links_) {
+      routers_[link.from].wire_output(link.out_port_at_from, &link.flits,
+                                      cfg_.link_latency);
+      routers_[link.to].wire_credit_return(link.in_port_at_to, &link.credits,
+                                           cfg_.link_latency);
+    }
+    const std::size_t eps =
+        static_cast<std::size_t>(cfg_.endpoints_per_chiplet);
+    for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+      const std::size_t router = e / eps;
+      const std::size_t port = routers_[router].network_ports() + e % eps;
+      routers_[router].wire_credit_return(port, &ep_channels_[e].inj_credits,
+                                          cfg_.injection_link_latency);
+      routers_[router].wire_output(port, &ep_channels_[e].ejection,
+                                   cfg_.ejection_link_latency);
+    }
+    for (auto& r : routers_) r.set_degraded(nullptr, nullptr, nullptr);
+    router_online_.clear();
+    flits_dropped_ = 0;
+    fault_dirty_ = false;
+  }
   for (auto& link : links_) {
     link.flits.clear();
     link.credits.clear();
@@ -341,6 +368,269 @@ void Network::reset() {
   active_router_hwm_ = 0;
   router_steps_ = 0;
   cycles_stepped_ = 0;
+}
+
+Network::FaultOutcome Network::fault_transition(
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& kill_links,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& repair_links,
+    const std::vector<char>& router_online) {
+  assert(router_online.size() == routers_.size());
+  fault_dirty_ = true;
+  const std::size_t n = routers_.size();
+  const std::size_t eps = static_cast<std::size_t>(cfg_.endpoints_per_chiplet);
+  if (router_online_.empty()) router_online_.assign(n, 1);
+  const std::vector<char> was_online = router_online_;
+  FaultOutcome out;
+
+  auto find_directed = [&](graph::NodeId from,
+                           graph::NodeId to) -> RouterLink& {
+    for (auto& link : links_) {
+      if (link.from == from && link.to == to) return link;
+    }
+    throw std::logic_error("Network::fault_transition: unknown link");
+  };
+
+  // 1. Kill both port sides of every killed link, harvesting the packet
+  // ids of flits caught on the wire (the wormhole is severed: the whole
+  // packet is poisoned network-wide). In-flight credits die with the port
+  // (its counters are sealed to zero anyway).
+  std::vector<std::vector<char>> dead_port(n);
+  auto mark_dead = [&](graph::NodeId r, std::size_t port) {
+    if (dead_port[r].empty()) dead_port[r].assign(routers_[r].total_ports(), 0);
+    dead_port[r][port] = 1;
+  };
+  auto is_dead_port = [&](graph::NodeId r, std::size_t port) {
+    return !dead_port[r].empty() && dead_port[r][port] != 0;
+  };
+  std::vector<std::uint32_t> poison_list;
+  for (const auto& [a, b] : kill_links) {
+    RouterLink& ab = find_directed(a, b);
+    RouterLink& ba = find_directed(b, a);
+    routers_[a].fault_kill_port(ab.out_port_at_from);
+    routers_[b].fault_kill_port(ba.out_port_at_from);
+    mark_dead(a, ab.out_port_at_from);
+    mark_dead(b, ba.out_port_at_from);
+    const auto harvest = [&](const Flit& f) {
+      poison_list.push_back(f.packet_id);
+    };
+    ab.flits.for_each(harvest);
+    ba.flits.for_each(harvest);
+    ab.credits.clear();
+    ba.credits.clear();
+  }
+
+  // 2. Routers going offline poison everything they hold, everything on
+  // their endpoint channels, and every packet their endpoints are mid-way
+  // through serializing (the source dies: the tail would never follow).
+  for (graph::NodeId r = 0; r < n; ++r) {
+    if (was_online[r] == 0 || router_online[r] != 0) continue;
+    routers_[r].fault_collect_all(&poison_list);
+    for (std::size_t local = 0; local < eps; ++local) {
+      const std::size_t e = r * eps + local;
+      const auto harvest = [&](const Flit& f) {
+        poison_list.push_back(f.packet_id);
+      };
+      ep_channels_[e].injection.for_each(harvest);
+      ep_channels_[e].ejection.for_each(harvest);
+      const std::int64_t mid = endpoints_[e].mid_serialization_packet();
+      if (mid >= 0) poison_list.push_back(static_cast<std::uint32_t>(mid));
+    }
+  }
+
+  // 3. Committed wormholes pointed at a freshly dead port: their bodies
+  // are severed too (zero-progress allocations re-route instead).
+  for (graph::NodeId r = 0; r < n; ++r) {
+    if (router_online[r] != 0 && !dead_port[r].empty()) {
+      routers_[r].fault_collect_committed(
+          [&](std::size_t p) { return dead_port[r][p] != 0; }, &poison_list);
+    }
+  }
+
+  // 4. Poison predicate: harvested ids plus anything destined to an
+  // offline router (its sink can never eject it).
+  std::sort(poison_list.begin(), poison_list.end());
+  poison_list.erase(std::unique(poison_list.begin(), poison_list.end()),
+                    poison_list.end());
+  auto poisoned = [&](std::uint32_t pid) {
+    if (std::binary_search(poison_list.begin(), poison_list.end(), pid)) {
+      return true;
+    }
+    const std::size_t dst = packets_[pid].dst_endpoint / eps;
+    return router_online[dst] == 0;
+  };
+  std::vector<std::uint32_t> lost;  // packets losing >= 1 flit (dedup below)
+
+  // 5. Excise poisoned flits from the link channels, refunding the
+  // upstream output-VC credit unless that port died with the flit.
+  for (auto& link : links_) {
+    out.flits_dropped += link.flits.remove_if([&](const Flit& f) {
+      if (!poisoned(f.packet_id)) return false;
+      lost.push_back(f.packet_id);
+      if (router_online[link.from] != 0 &&
+          !is_dead_port(link.from, link.out_port_at_from)) {
+        routers_[link.from].fault_refund_credit(link.out_port_at_from, f.vc);
+      }
+      return true;
+    });
+  }
+
+  // 6. Endpoint channels: poisoned injections refund the source endpoint's
+  // credits, poisoned ejections just vanish (ejection credits are
+  // effectively infinite). Dead endpoints also lose in-flight credit
+  // returns — their flow state is rebuilt from scratch below.
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    const std::size_t r = e / eps;
+    EndpointChannels& chans = ep_channels_[e];
+    const bool ep_online = router_online[r] != 0;
+    out.flits_dropped += chans.injection.remove_if([&](const Flit& f) {
+      if (!poisoned(f.packet_id)) return false;
+      lost.push_back(f.packet_id);
+      if (ep_online) endpoints_[e].fault_refund_credit(f.vc);
+      return true;
+    });
+    out.flits_dropped += chans.ejection.remove_if([&](const Flit& f) {
+      if (!poisoned(f.packet_id)) return false;
+      lost.push_back(f.packet_id);
+      return true;
+    });
+    if (!ep_online) chans.inj_credits.clear();
+  }
+
+  // 7. Excise router-buffered state; refunds go to the physical upstream
+  // hop of the input port each removed flit sat behind.
+  for (graph::NodeId r = 0; r < n; ++r) {
+    if (was_online[r] == 0 && router_online[r] == 0) continue;  // drained
+    const bool online_r = router_online[r] != 0;
+    const auto dead_out = [&](std::size_t p) {
+      return !online_r || is_dead_port(r, p);
+    };
+    const auto refund = [&](std::size_t in_port, int vc) {
+      const std::uint32_t t = in_credit_target_[r][in_port];
+      if ((t & kChanBit) != 0) {
+        const std::size_t e = t & ~kChanBit;
+        if (router_online[e / eps] != 0) {
+          endpoints_[e].fault_refund_credit(vc);
+        }
+        return;
+      }
+      const RouterLink& up = links_[t];
+      if (router_online[up.from] != 0 &&
+          !is_dead_port(up.from, up.out_port_at_from)) {
+        routers_[up.from].fault_refund_credit(up.out_port_at_from, vc);
+      }
+    };
+    const Router::FaultExcision ex = routers_[r].fault_excise(
+        [&](std::uint32_t pid) {
+          if (!poisoned(pid)) return false;
+          lost.push_back(pid);
+          return true;
+        },
+        dead_out, refund);
+    out.flits_dropped += ex.flits_removed;
+    out.packets_rerouted += ex.packets_rerouted;
+  }
+
+  // 8. Endpoints: abort poisoned mid-serializations, flush queued packets
+  // that lost their destination, and power endpoint state up/down with
+  // their router.
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    const std::size_t r = e / eps;
+    Endpoint& ep = endpoints_[e];
+    if (router_online[r] != 0) {
+      if (was_online[r] == 0) {  // router repaired: endpoint revives
+        ep.fault_set_alive(true);
+        ep.fault_reset_flow_state();
+        continue;
+      }
+      const std::int64_t mid = ep.mid_serialization_packet();
+      if (mid >= 0 && poisoned(static_cast<std::uint32_t>(mid))) {
+        lost.push_back(static_cast<std::uint32_t>(mid));
+        ep.fault_abort_active();
+      }
+      out.packets_flushed += ep.fault_flush_queue([&](const Packet& p) {
+        return router_online[p.dst_endpoint / eps] == 0;
+      });
+    } else if (was_online[r] != 0) {  // router died: endpoint goes dark
+      const std::int64_t mid = ep.mid_serialization_packet();
+      if (mid >= 0) {
+        lost.push_back(static_cast<std::uint32_t>(mid));
+        ep.fault_abort_active();
+      }
+      out.packets_flushed += ep.fault_flush_queue(
+          [](const Packet&) { return true; });
+      ep.fault_set_alive(false);
+      ep.fault_reset_flow_state();
+    }
+  }
+
+  // 9. Repairs: the channels drained at kill time; rewire both sides.
+  for (const auto& [a, b] : repair_links) {
+    RouterLink& ab = find_directed(a, b);
+    RouterLink& ba = find_directed(b, a);
+    assert(ab.flits.in_flight() == 0 && ba.flits.in_flight() == 0);
+    routers_[a].fault_restore_port(ab.out_port_at_from, &ab.flits,
+                                   cfg_.link_latency, &ba.credits,
+                                   cfg_.link_latency);
+    routers_[b].fault_restore_port(ba.out_port_at_from, &ba.flits,
+                                   cfg_.link_latency, &ab.credits,
+                                   cfg_.link_latency);
+  }
+
+  router_online_ = router_online;
+  flits_dropped_ += out.flits_dropped;
+  std::sort(lost.begin(), lost.end());
+  out.packets_lost = static_cast<std::uint64_t>(
+      std::unique(lost.begin(), lost.end()) - lost.begin());
+
+  // 10. The worklists may now both overstate (drained components) and
+  // understate (revoked heads whose router drained its channels) the
+  // active set; re-derive them exactly, in ascending index order.
+  if (cfg_.skip_idle) rebuild_worklists();
+  return out;
+}
+
+void Network::set_degraded_routing(const DegradedRouting* dr) {
+  fault_dirty_ = true;
+  for (std::size_t r = 0; r < routers_.size(); ++r) {
+    if (dr == nullptr || dr->live_id[r] == DegradedRouting::kDead) {
+      routers_[r].set_degraded(nullptr, nullptr, nullptr);
+    } else {
+      routers_[r].set_degraded(&dr->topo->tables(), dr->live_id.data(),
+                               dr->port_map[r].data());
+    }
+  }
+}
+
+void Network::rebuild_worklists() {
+  active_links_.clear();
+  active_chans_.clear();
+  active_routers_.clear();
+  active_eps_.clear();
+  std::fill(link_active_.begin(), link_active_.end(), 0);
+  std::fill(chan_active_.begin(), chan_active_.end(), 0);
+  std::fill(router_active_.begin(), router_active_.end(), 0);
+  std::fill(ep_active_.begin(), ep_active_.end(), 0);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].flits.in_flight() != 0 ||
+        links_[i].credits.in_flight() != 0) {
+      arm(active_links_, link_active_, i);
+    }
+  }
+  for (std::size_t e = 0; e < ep_channels_.size(); ++e) {
+    if (ep_channels_[e].injection.in_flight() != 0 ||
+        ep_channels_[e].inj_credits.in_flight() != 0 ||
+        ep_channels_[e].ejection.in_flight() != 0) {
+      arm(active_chans_, chan_active_, e);
+    }
+  }
+  for (std::size_t r = 0; r < routers_.size(); ++r) {
+    if (routers_[r].buffered_flit_count() > 0) {
+      arm(active_routers_, router_active_, r);
+    }
+  }
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    if (endpoints_[e].queue_length() > 0) arm(active_eps_, ep_active_, e);
+  }
 }
 
 std::size_t Network::flits_in_network() const {
@@ -392,7 +682,7 @@ bool Network::invariants_ok(std::string* why) const {
     if (!r.invariants_ok(why)) return false;
   }
   if (total_flits_injected() !=
-      total_flits_ejected() + flits_in_network()) {
+      total_flits_ejected() + flits_in_network() + flits_dropped_) {
     if (why != nullptr) *why = "flit conservation violated";
     return false;
   }

@@ -27,6 +27,20 @@
 
 namespace hm::noc {
 
+/// Degraded routing view installed after faults: routing tables built on the
+/// post-fault live graph, plus the translations back to the physical
+/// network. `live_id` maps physical router ids to live-graph ids (kDead for
+/// offline routers); `port_map[r]` maps a live-graph port of router r back
+/// to the physical port index. Built and owned by the fault controller; the
+/// Network borrows it and pushes the per-router raw pointers down (it must
+/// outlive the installation).
+struct DegradedRouting {
+  static constexpr std::uint32_t kDead = 0xFFFFFFFFu;
+  std::shared_ptr<const TopologyContext> topo;
+  std::vector<std::uint32_t> live_id;
+  std::vector<std::vector<std::uint8_t>> port_map;
+};
+
 /// A ready-to-run network instance built from an arrangement graph.
 class Network {
  public:
@@ -130,6 +144,48 @@ class Network {
   /// Runs all router invariant checks; false + reason on violation.
   [[nodiscard]] bool invariants_ok(std::string* why = nullptr) const;
 
+  // --- Fault injection (cold path; driven by faults::FaultController) -----
+
+  /// Accounting of one fault transition. Every flit is conserved:
+  /// injected == ejected + in-network + dropped holds before and after
+  /// (invariants_ok checks it).
+  struct FaultOutcome {
+    std::uint64_t flits_dropped = 0;     ///< flits excised network-wide
+    std::uint64_t packets_lost = 0;      ///< distinct packets losing flits
+    std::uint64_t packets_flushed = 0;   ///< queued packets dropped unsent
+    std::uint64_t packets_rerouted = 0;  ///< committed heads sent back to VA
+  };
+
+  /// Applies one batch of simultaneous fault events. `kill_links` /
+  /// `repair_links` are undirected physical edges (currently wired /
+  /// currently killed respectively); `router_online` is the full
+  /// post-transition routable set (size num_routers) — routers leaving it
+  /// are powered off wholesale (state excised, endpoints dead), routers
+  /// re-entering come back with fresh flow state. In-flight flits of
+  /// severed or unroutable packets are excised deterministically with
+  /// upstream credits refunded, zero-progress allocations toward dead
+  /// ports are revoked for re-routing, and the active-set worklists are
+  /// rebuilt exactly. Install the matching DegradedRouting separately
+  /// (possibly later: reconvergence window).
+  FaultOutcome fault_transition(
+      const std::vector<std::pair<graph::NodeId, graph::NodeId>>& kill_links,
+      const std::vector<std::pair<graph::NodeId, graph::NodeId>>& repair_links,
+      const std::vector<char>& router_online);
+
+  /// Installs (nullptr: clears) the degraded routing view on every router.
+  void set_degraded_routing(const DegradedRouting* dr);
+
+  [[nodiscard]] bool endpoint_alive(std::size_t e) const {
+    return endpoints_[e].alive();
+  }
+  [[nodiscard]] bool router_online(graph::NodeId r) const {
+    return router_online_.empty() || router_online_[r] != 0;
+  }
+  /// Flits excised by fault transitions since construction/reset.
+  [[nodiscard]] std::uint64_t flits_dropped() const noexcept {
+    return flits_dropped_;
+  }
+
  private:
   struct RouterLink {
     FlitChannel flits;      ///< from -> to
@@ -147,6 +203,8 @@ class Network {
 
   void step_dense(Cycle now);
   void step_active(Cycle now);
+  /// Re-derives every worklist from scratch (exact post-fault state).
+  void rebuild_worklists();
 
   /// Membership-flagged worklist push (no-op when already a member).
   static void arm(std::vector<std::uint32_t>& list, std::vector<char>& flag,
@@ -196,6 +254,11 @@ class Network {
   static constexpr std::uint32_t kChanBit = 0x80000000u;
   std::vector<std::vector<std::uint32_t>> out_flit_target_;
   std::vector<std::vector<std::uint32_t>> in_credit_target_;
+
+  // --- Fault state (empty/zero until the first fault_transition) ----------
+  std::vector<char> router_online_;     ///< empty == everything online
+  std::uint64_t flits_dropped_ = 0;     ///< excised flits (conservation)
+  bool fault_dirty_ = false;            ///< reset() must rewind fault wiring
 
   std::uint64_t tagged_delivered_ = 0;   ///< in-window packet completions
   std::uint64_t active_router_hwm_ = 0;  ///< max |active_routers_| per step

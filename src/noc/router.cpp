@@ -69,6 +69,7 @@ void Router::reset() {
     iv.next_phase = 0;
     iv.flits_sent = 0;
     iv.blocked_cycles = 0;
+    iv.cur_packet = 0;
   }
   for (std::size_t p = 0; p < n_ports_; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
@@ -130,6 +131,7 @@ void Router::receive_credit(std::size_t port, int vc) {
 void Router::route_compute(InputVc& iv, int iv_flat) {
   const Flit& head = iv.buf.front().flit;
   assert(head.head);
+  iv.cur_packet = head.packet_id;
   if (head.dst_router == id_) {
     // Deliver locally: ejection port of the destination endpoint. The
     // destination endpoint is cold per-packet data, looked up once here.
@@ -160,7 +162,14 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat) {
   const bool use_minimal = cfg_.routing != RoutingMode::kUpDownOnly &&
                            !head.escape && cfg_.vcs > 1;
   if (use_minimal) {
-    const auto ports = tables_->minimal_ports(id_, dst);
+    // Degraded view installed (mid-fault): route on the rebuilt tables with
+    // ids translated to the live subgraph and ports translated back to the
+    // physical port numbering. Healthy runs pay one perfectly-predicted
+    // null check.
+    const auto ports =
+        deg_tables_ == nullptr
+            ? tables_->minimal_ports(id_, dst)
+            : deg_tables_->minimal_ports(deg_live_[id_], deg_live_[dst]);
     std::size_t first = 0;
     std::size_t count = ports.size();
     if (cfg_.routing == RoutingMode::kDeterministicMinimal) {
@@ -171,7 +180,10 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat) {
       first = static_cast<std::size_t>(rng_.uniform_int(ports.size()));
     }
     for (std::size_t i = 0; i < count; ++i) {
-      const int port = ports[(i + first) % ports.size()];
+      int port = ports[(i + first) % ports.size()];
+      if (deg_port_map_ != nullptr) {
+        port = deg_port_map_[static_cast<std::size_t>(port)];
+      }
       if (free_adaptive_[static_cast<std::size_t>(port)] == 0) continue;
       for (int vc = 1; vc < cfg_.vcs; ++vc) {
         OutputVc& ov = out_[static_cast<std::size_t>(flat(port, vc))];
@@ -199,7 +211,22 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat) {
   const bool allow_escape =
       !use_minimal || iv.blocked_cycles >= cfg_.escape_threshold;
   if (allow_escape) {
-    const EscapeHop hop = tables_->escape_hop(id_, dst, head.ud_phase);
+    EscapeHop hop;
+    if (deg_tables_ == nullptr) {
+      hop = tables_->escape_hop(id_, dst, head.ud_phase);
+    } else {
+      hop = deg_tables_->escape_hop(deg_live_[id_], deg_live_[dst],
+                                    head.ud_phase);
+      hop.port = deg_port_map_[hop.port];
+    }
+    // During a reconvergence window the stale escape hop can aim at a
+    // killed port; a detached channel means "wait for the table swap"
+    // (blocked, not allocated), never a push into a dead link.
+    if (out_channel_[hop.port] == nullptr) {
+      ++iv.blocked_cycles;
+      ++stats_.va_stall_cycles;
+      return false;
+    }
     const int vc_lo = 0;
     const int vc_hi = cfg_.routing == RoutingMode::kUpDownOnly ? cfg_.vcs : 1;
     for (int vc = vc_lo; vc < vc_hi; ++vc) {
@@ -430,6 +457,147 @@ std::size_t Router::buffered_flits() const {
   std::size_t total = 0;
   for (const auto& iv : in_) total += iv.buf.size();
   return total;
+}
+
+void Router::set_degraded(const RoutingTables* tables,
+                          const std::uint32_t* live_id,
+                          const std::uint8_t* port_map) {
+  deg_tables_ = tables;
+  deg_live_ = live_id;
+  deg_port_map_ = port_map;
+}
+
+void Router::fault_kill_port(std::size_t port) {
+  assert(port < n_network_ports_);
+  out_channel_[port] = nullptr;
+  credit_channel_[port] = nullptr;
+  for (int v = 0; v < cfg_.vcs; ++v) {
+    out_[static_cast<std::size_t>(flat(port, v))].credits = 0;
+  }
+  free_adaptive_[port] = 0;
+}
+
+void Router::fault_restore_port(std::size_t port, FlitChannel* out,
+                                int out_latency, CreditChannel* credit,
+                                int credit_latency) {
+  assert(port < n_network_ports_);
+  out_channel_[port] = out;
+  out_latency_[port] = out_latency;
+  credit_channel_[port] = credit;
+  credit_latency_[port] = credit_latency;
+  for (int v = 0; v < cfg_.vcs; ++v) {
+    OutputVc& ov = out_[static_cast<std::size_t>(flat(port, v))];
+    assert(ov.owner < 0);
+    ov.credits = cfg_.buffer_depth;
+  }
+  free_adaptive_[port] = cfg_.vcs - 1;
+}
+
+void Router::fault_refund_credit(std::size_t port, int vc) {
+  assert(port < n_network_ports_);
+  OutputVc& ov = out_[static_cast<std::size_t>(flat(port, vc))];
+  ++ov.credits;
+  assert(ov.credits <= cfg_.buffer_depth);
+}
+
+void Router::fault_collect_committed(
+    const std::function<bool(std::size_t)>& dead_out,
+    std::vector<std::uint32_t>* out) const {
+  for (const InputVc& iv : in_) {
+    if (iv.state == VcState::kActive && !iv.out_is_ejection &&
+        iv.flits_sent > 0 &&
+        dead_out(static_cast<std::size_t>(iv.out_port))) {
+      out->push_back(iv.cur_packet);
+    }
+  }
+}
+
+void Router::fault_collect_all(std::vector<std::uint32_t>* out) const {
+  for (const InputVc& iv : in_) {
+    for (std::size_t i = 0; i < iv.buf.size(); ++i) {
+      out->push_back(iv.buf[i].flit.packet_id);
+    }
+    if (iv.state != VcState::kIdle) out->push_back(iv.cur_packet);
+  }
+}
+
+Router::FaultExcision Router::fault_excise(
+    const std::function<bool(std::uint32_t)>& poisoned,
+    const std::function<bool(std::size_t)>& dead_out,
+    const std::function<void(std::size_t, int)>& refund) {
+  FaultExcision result;
+  std::vector<BufFlit> kept;
+  for (std::size_t p = 0; p < n_ports_; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      const int idx = flat(p, v);
+      InputVc& iv = in_[static_cast<std::size_t>(idx)];
+
+      // Drop buffered flits of poisoned packets, refunding the upstream
+      // credit for each exactly as a grant would have.
+      if (!iv.buf.empty()) {
+        kept.clear();
+        const std::size_t sz = iv.buf.size();
+        for (std::size_t i = 0; i < sz; ++i) {
+          const BufFlit& bf = iv.buf[i];
+          if (poisoned(bf.flit.packet_id)) {
+            refund(p, v);
+          } else {
+            kept.push_back(bf);
+          }
+        }
+        if (kept.size() != sz) {
+          const std::size_t removed = sz - kept.size();
+          iv.buf.clear();
+          for (const BufFlit& bf : kept) iv.buf.push_back(bf);
+          buffered_ -= removed;
+          result.flits_removed += removed;
+          if (iv.buf.empty()) {
+            occupied_[static_cast<std::size_t>(idx) >> 6] &=
+                ~(1ULL << (idx & 63));
+          }
+        }
+      }
+
+      // Fix the VC state machine: a poisoned tracked packet resets to
+      // idle; a zero-progress allocation toward a dead port is revoked so
+      // the head re-routes (packets with flits already on the dead link
+      // were poisoned by fault_collect_committed).
+      if (iv.state == VcState::kIdle) continue;
+      const bool tracked_poisoned = poisoned(iv.cur_packet);
+      const bool toward_dead =
+          iv.state == VcState::kActive && !iv.out_is_ejection &&
+          dead_out(static_cast<std::size_t>(iv.out_port));
+      if (!tracked_poisoned && !toward_dead) continue;
+      if (iv.state == VcState::kActive) {
+        clear_request(static_cast<std::size_t>(iv.out_port), idx);
+        if (!iv.out_is_ejection) {
+          OutputVc& ov =
+              out_[static_cast<std::size_t>(flat(iv.out_port, iv.out_vc))];
+          ov.owner = -1;
+          if (iv.out_vc >= 1 &&
+              !dead_out(static_cast<std::size_t>(iv.out_port))) {
+            ++free_adaptive_[static_cast<std::size_t>(iv.out_port)];
+          }
+        }
+      }
+      if (tracked_poisoned) {
+        iv.state = VcState::kIdle;
+        iv.blocked_cycles = 0;
+        iv.cur_packet = 0;
+      } else {
+        assert(iv.flits_sent == 0);
+        iv.state = VcState::kNeedsVc;
+        ++result.packets_rerouted;
+      }
+      iv.out_port = -1;
+      iv.out_vc = -1;
+      iv.out_is_ejection = false;
+      iv.escape = false;
+      iv.next_phase = 0;
+      iv.flits_sent = 0;
+    }
+  }
+  return result;
 }
 
 bool Router::invariants_ok(std::string* why) const {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,60 @@ class Router {
   /// consistency). Returns false and fills `why` on violation.
   [[nodiscard]] bool invariants_ok(std::string* why = nullptr) const;
 
+  // --- Fault-injection hooks (cold path; driven by Network) -----------------
+
+  /// Installs (or, with nullptrs, removes) a degraded routing view: lookups
+  /// go through `tables` with this router's and the destination's ids
+  /// translated by `live_id`, and the returned ports translated back to
+  /// physical ports by `port_map`. The pointed-to storage is owned by the
+  /// Network and outlives the view.
+  void set_degraded(const RoutingTables* tables,
+                    const std::uint32_t* live_id,
+                    const std::uint8_t* port_map);
+
+  /// Kills network port `port`: output and credit-return channels are
+  /// detached (SA already skips null output channels) and the output VC
+  /// credits and free-adaptive count drop to zero so no new allocation can
+  /// target the port. Callers must excise in-flight state afterwards
+  /// (fault_excise) — the port's output VCs may still have owners here.
+  void fault_kill_port(std::size_t port);
+
+  /// Restores a killed port after a repair: rewires the channels and
+  /// refills credits / free-adaptive to the fresh-build state. The port's
+  /// output VCs must be ownerless (guaranteed after fault_excise).
+  void fault_restore_port(std::size_t port, FlitChannel* out, int out_latency,
+                          CreditChannel* credit, int credit_latency);
+
+  /// Refunds one output-VC credit (upstream side of an excised flit).
+  void fault_refund_credit(std::size_t port, int vc);
+
+  /// Packets that already sent flits toward a now-dead output port (the
+  /// wormhole body is severed mid-link): appended to `out` so the caller
+  /// can poison them network-wide. Zero-progress allocations are left for
+  /// fault_excise to revoke.
+  void fault_collect_committed(const std::function<bool(std::size_t)>& dead_out,
+                               std::vector<std::uint32_t>* out) const;
+
+  /// Every packet with state in this router (buffered flits or a tracked
+  /// in-progress transmission) — used to poison a killed router wholesale.
+  void fault_collect_all(std::vector<std::uint32_t>* out) const;
+
+  struct FaultExcision {
+    std::uint64_t flits_removed = 0;
+    std::uint64_t packets_rerouted = 0;
+  };
+
+  /// Removes every buffered flit whose packet `poisoned(id)` approves,
+  /// resets the state machines of the affected input VCs, and revokes
+  /// zero-progress allocations toward `dead_out` ports (those packets
+  /// re-route on the degraded tables). `refund(in_port, vc)` fires once per
+  /// removed flit so the Network can credit the upstream sender; releases
+  /// never re-grow free_adaptive_ of a dead output port.
+  FaultExcision fault_excise(
+      const std::function<bool(std::uint32_t)>& poisoned,
+      const std::function<bool(std::size_t)>& dead_out,
+      const std::function<void(std::size_t, int)>& refund);
+
  private:
   enum class VcState : std::uint8_t { kIdle, kNeedsVc, kActive };
 
@@ -146,6 +201,10 @@ class Router {
     std::uint8_t next_phase = 0;  ///< up*/down* phase after the escape hop
     int flits_sent = 0;           ///< flits of the current packet sent on
     int blocked_cycles = 0;       ///< VA failures since the header arrived
+    /// Packet being routed while state != kIdle. The buffer can drain to
+    /// empty mid-packet (body still upstream), so fault excision needs the
+    /// id recorded at route compute, not the front flit.
+    std::uint32_t cur_packet = 0;
   };
 
   struct OutputVc {
@@ -184,6 +243,13 @@ class Router {
   SimConfig cfg_;
   const RoutingTables* tables_;
   const PacketTable* packets_;
+
+  // Degraded routing view (all null when healthy — the single null check in
+  // VA is the only fault cost on the hot path). See set_degraded().
+  const RoutingTables* deg_tables_ = nullptr;
+  const std::uint32_t* deg_live_ = nullptr;
+  const std::uint8_t* deg_port_map_ = nullptr;
+
   std::size_t n_network_ports_;
   std::size_t n_ports_;
 

@@ -4,9 +4,11 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "faults/controller.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -84,9 +86,16 @@ void Simulator::bind_traffic(SyntheticTraffic& traffic) {
 }
 
 void Simulator::tick(SyntheticTraffic& traffic) {
+  if (faults_ != nullptr) faults_->on_tick(net_, now_);
   gen_scratch_.clear();
   traffic.generate_due(now_, gen_scratch_);
   for (const Packet& p : gen_scratch_) {
+    if (faults_ != nullptr && !faults_->packet_routable(p)) {
+      // Dead source or destination: suppress the packet before it touches
+      // a source queue (counted, never on the wire).
+      faults_->note_unroutable_packet();
+      continue;
+    }
     // A full source queue throttles the offered load (the generated packet
     // is dropped at the source, exactly like BookSim's finite source
     // queues under saturation).
@@ -110,7 +119,12 @@ void Simulator::advance_until(Cycle limit, SyntheticTraffic& traffic) {
       // traffic event is an observable no-op. Jump straight there. Gated
       // on skip_idle so the dense mode stays the plain reference stepper
       // (quiescent() is O(1) here, a full scan there).
-      const Cycle next = traffic.next_event_cycle();
+      Cycle next = traffic.next_event_cycle();
+      if (faults_ != nullptr) {
+        // Never skip over a pending fault event or table swap.
+        const Cycle fault_next = faults_->next_event_cycle();
+        if (fault_next < next) next = fault_next;
+      }
       const Cycle target = next < limit ? next : limit;
       if (target > now_) {
         idle_skipped_cycles_ += static_cast<std::uint64_t>(target - now_);
@@ -197,6 +211,26 @@ ThroughputResult Simulator::run_throughput(double flit_rate, Cycle warmup,
       window_endpoints;
   result.dropped_packets = packets_dropped_ - dropped_before;
   return result;
+}
+
+faults::ResilienceStats Simulator::run_resilience(double flit_rate,
+                                                  const faults::FaultPlan& plan,
+                                                  Cycle warmup, Cycle measure) {
+  if (faults_ != nullptr) {
+    throw std::logic_error(
+        "Simulator::run_resilience: a fault plan is already armed on this "
+        "simulator (the network keeps its post-fault state; use a fresh "
+        "Simulator per resilience run)");
+  }
+  SyntheticTraffic traffic(traffic_spec_, net_.num_endpoints(), flit_rate,
+                           cfg_.packet_length);
+  bind_traffic(traffic);
+  advance_until(now_ + warmup, traffic);
+  faults_ = std::make_unique<faults::FaultController>(plan);
+  faults_->arm(net_, now_);
+  advance_until(now_ + measure, traffic);
+  faults_->flush_telemetry();
+  return faults_->stats();
 }
 
 std::uint64_t saturation_rate_key(double rate) noexcept {

@@ -14,12 +14,17 @@
 #include <optional>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "noc/arena.hpp"
 #include "noc/config.hpp"
 #include "noc/network.hpp"
 #include "noc/topology.hpp"
 #include "noc/traffic.hpp"
+
+namespace hm::faults {
+class FaultController;
+}  // namespace hm::faults
 
 namespace hm::noc {
 
@@ -175,6 +180,19 @@ class Simulator {
   ThroughputResult run_throughput(double flit_rate, Cycle warmup = 10000,
                                   Cycle measure = 10000);
 
+  /// Resilience run: warm the healthy network up at `flit_rate` for
+  /// `warmup` cycles, arm `plan` (event times count from the arm point),
+  /// then run `measure` more cycles with the fault controller driving
+  /// kills, repairs, table swaps and recovery sampling. Traffic touching
+  /// unroutable endpoints is suppressed at generation (counted as
+  /// packets_unroutable, never offered). The network is left in its
+  /// post-fault state — one resilience run per Simulator (a second call
+  /// throws std::logic_error); the arena lease rewind restores the wiring.
+  faults::ResilienceStats run_resilience(double flit_rate,
+                                         const faults::FaultPlan& plan,
+                                         Cycle warmup = 2000,
+                                         Cycle measure = 6000);
+
   [[nodiscard]] Network& network() noexcept { return net_; }
   [[nodiscard]] Cycle now() const noexcept { return now_; }
   /// Cycles fast-forwarded over quiescent stretches (skip-idle mode only).
@@ -212,6 +230,10 @@ class Simulator {
   Cycle tag_end_ = std::numeric_limits<Cycle>::min();
   std::uint64_t tagged_generated_ = 0;
   std::vector<Packet> gen_scratch_;  ///< per-tick generated packets
+  /// Armed by run_resilience; owns the degraded routing views the routers
+  /// borrow, so it outlives the run and dies with the Simulator (the lease
+  /// reset clears the borrowed pointers before any reuse).
+  std::unique_ptr<faults::FaultController> faults_;
 };
 
 }  // namespace hm::noc

@@ -14,6 +14,7 @@ std::string to_string(Objective o) {
     case Objective::kZeroLoadLatency: return "latency";
     case Objective::kThroughputPerLinkArea:
       return "throughput_per_link_area";
+    case Objective::kRobustThroughput: return "robust_throughput";
   }
   return "unknown";
 }
@@ -41,6 +42,13 @@ double score(const ObjectiveSpec& spec, const core::EvaluationResult& r) {
       return r.saturation_throughput_bps /
              std::pow(std::max(area, 1e-9), spec.area_weight);
     }
+    case Objective::kRobustThroughput:
+      if (r.fault_plans_run == 0) {
+        throw std::invalid_argument(
+            "ObjectiveSpec: robust_throughput needs a fault scenario "
+            "(EvaluationParams::faults) enabled on the evaluation");
+      }
+      return r.fault_robust_throughput_bps;
   }
   return 0.0;
 }
@@ -53,7 +61,15 @@ void apply_measurement_selection(const ObjectiveSpec& spec,
     return;
   }
   params.measure_latency = spec.kind == Objective::kZeroLoadLatency;
-  params.measure_saturation = spec.kind != Objective::kZeroLoadLatency;
+  params.measure_saturation =
+      spec.kind != Objective::kZeroLoadLatency &&
+      spec.kind != Objective::kRobustThroughput;
+  if (spec.kind == Objective::kRobustThroughput &&
+      !params.faults.enabled()) {
+    // A robust search with no scenario configured gets a sensible default:
+    // two independent single-link kills per candidate.
+    params.faults.single_link_kills = 2;
+  }
 }
 
 }  // namespace hm::search

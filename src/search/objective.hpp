@@ -29,6 +29,12 @@ enum class Objective {
   kSaturationThroughput,   ///< saturation_throughput_bps (Fig. 7b axis)
   kZeroLoadLatency,        ///< negated zero_load_latency_cycles (Fig. 7a axis)
   kThroughputPerLinkArea,  ///< saturation throughput / D2D link area^w
+  /// Worst-case delivered bandwidth over the fault scenario's plan set
+  /// (fault_robust_throughput_bps): rewards arrangements that keep moving
+  /// traffic with links or routers dead. Requires params.faults to be
+  /// enabled on the evaluation (score() throws otherwise — a silent zero
+  /// would make every candidate tie).
+  kRobustThroughput,
 };
 
 /// Short names, e.g. "throughput", "latency", "throughput_per_link_area".

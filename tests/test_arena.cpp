@@ -14,6 +14,7 @@
 #include "explore/export.hpp"
 #include "explore/sweep.hpp"
 #include "explore/thread_pool.hpp"
+#include "faults/fault_plan.hpp"
 #include "noc/arena.hpp"
 #include "noc/simulator.hpp"
 #include "noc/topology.hpp"
@@ -287,6 +288,35 @@ TEST(SaturationRateKey, NormalizesNegativeZeroAndNan) {
   EXPECT_EQ(saturation_rate_key(0.5), std::bit_cast<std::uint64_t>(0.5));
   EXPECT_NE(saturation_rate_key(0.5), saturation_rate_key(0.25));
   EXPECT_NE(saturation_rate_key(1.0), saturation_rate_key(0.0));
+}
+
+TEST(SimulationArena, ResetRewindsFaultMutatedWiring) {
+  // A resilience run unwires killed links, zeroes their credits, powers
+  // routers/endpoints down and installs degraded routing tables. A network
+  // recycled after that history must still reproduce a fresh network bit
+  // for bit — reset() has to rewind the wiring itself, not just buffers.
+  const auto topo = hexamesh_topo(19);
+  SimConfig cfg;
+  cfg.seed = 29;
+  SimulationArena arena(2);
+
+  {
+    hm::faults::FaultScenarioSpec spec;
+    spec.storm_kills = 3;
+    spec.seed = 8;
+    spec.kill_at = 300;
+    spec.storm_spacing = 250;
+    const auto plans = spec.plans_for(topo->graph());
+    ASSERT_EQ(plans.size(), 1u);
+    Simulator sim(arena, topo, cfg);
+    (void)sim.run_resilience(0.25, plans[0], 500, 1500);
+    EXPECT_GT(sim.network().flits_dropped(), 0u);  // faults actually bit
+  }
+
+  const auto fresh = probe_fresh(topo, cfg, TrafficSpec{}, 0.5);
+  const auto reused = probe_arena(arena, topo, cfg, TrafficSpec{}, 0.5);
+  expect_same(fresh, reused);
+  EXPECT_GE(arena.stats().networks_reused, 1u);
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ GUARDED_HIGHER_IS_BETTER = ("sim_cycle_lowload.speedup.",)
 # Compared and reported, but never fail the gate (first-PR baselines).
 # Ratio-style search metrics where *lower* is the regression direction are
 # listed separately so the warning fires the right way around.
-WARN_PREFIXES = ("search.", "telemetry.")
+WARN_PREFIXES = ("search.", "telemetry.", "fault.")
 WARN_HIGHER_IS_BETTER = ("search.rebuild_speedup.", "search.best_over_baseline.",
                          "search.e2e_evals_per_s.",
                          "search.tempering.best_over_baseline.",
