@@ -7,10 +7,13 @@
 // the hot paths is tracked across PRs.
 //
 // Usage: bench_perf_micro [--smoke]   (--smoke: few repetitions, CI gate)
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <string>
@@ -258,6 +261,55 @@ void bench_telemetry_overhead() {
   g_metrics["telemetry.overhead_ratio"] = ratio;
 }
 
+void bench_store_warm() {
+  // Persistent result store (src/store/): the cold sweep pays the full
+  // simulation and seeds a fresh on-disk store; the warm re-run must be
+  // served entirely from disk (100% store hits, zero simulation). The
+  // cold/warm wall-clock ratio is the headline number of ISSUE 9 —
+  // recorded as store.warm_speedup and gated warn-only in
+  // check_perf_regression.py (it is a huge, host-sensitive ratio; a
+  // collapse towards 1.0 means the read-through path broke).
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("hm_bench_store_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  hm::core::EvaluationParams p;
+  p.latency_warmup = 300;
+  p.latency_measure = 600;
+  p.latency_drain_limit = 60000;
+  p.throughput_warmup = 400;
+  p.throughput_measure = 400;
+
+  hm::explore::SweepSpec spec;
+  spec.types = {ArrangementType::kHexaMesh};
+  spec.chiplet_counts = {9, 12};
+  spec.param_grid = {p};
+
+  // A fresh engine per run: the in-memory cache dies with it, so the warm
+  // run can only be fast through the store (flushed by the engine's cache
+  // destructor at the end of each run).
+  const auto run_once = [&] {
+    hm::explore::SweepEngine::Options opt;
+    opt.threads = 1;
+    opt.cache_dir = dir.string();
+    hm::explore::SweepEngine engine(opt);
+    (void)engine.run(spec);
+  };
+
+  const double cold_t0 = now_seconds();
+  run_once();
+  const double cold_s = now_seconds() - cold_t0;
+  const double warm_s = time_median(run_once, g_smoke ? 0.05 : 0.2, 2);
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 1.0;
+  std::printf("%-36s %12.1f x (cold %.1f ms, warm %.2f ms)\n",
+              "store.warm_speedup", speedup, cold_s * 1e3, warm_s * 1e3);
+  // A ratio, not a duration: recorded without report()'s "_ns" suffix.
+  g_metrics["store.warm_speedup"] = speedup;
+  fs::remove_all(dir);
+}
+
 void bench_fault_overhead() {
   // The fault subsystem's contract (src/faults/): an armed-but-empty
   // FaultPlan must be bit-identical to an unarmed run (test_faults pins
@@ -306,6 +358,7 @@ int main(int argc, char** argv) {
   bench_saturation_probes();
   bench_evaluate_analytic();
   bench_telemetry_overhead();
+  bench_store_warm();
   bench_fault_overhead();
   hm::bench::update_perf_json(g_metrics);
   return 0;

@@ -23,6 +23,10 @@
 //                                           fault_* columns to the export)
 //   ./design_sweep --telemetry [N...]       print the metrics snapshot
 //   ./design_sweep --trace out.json [N...]  record a Chrome trace (Perfetto)
+//   ./design_sweep --cache-dir DIR [N...]   persist results in an on-disk
+//                                           store (also via HM_CACHE_DIR;
+//                                           the flag wins) — a warm re-run
+//                                           skips every simulation
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +41,7 @@
 #include "explore/export.hpp"
 #include "explore/sweep.hpp"
 #include "search/tempering.hpp"
+#include "store/result_store.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm::core;
@@ -47,10 +52,12 @@ int main(int argc, char** argv) {
   std::size_t search_steps = 0;
   std::size_t fault_kills = 0;
   std::string csv_path;
+  std::string cache_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 ||
         std::strcmp(argv[i], "--csv") == 0 ||
         std::strcmp(argv[i], "--search") == 0 ||
+        std::strcmp(argv[i], "--cache-dir") == 0 ||
         std::strcmp(argv[i], "--faults") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", argv[i]);
@@ -64,6 +71,8 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--faults") == 0) {
         fault_kills =
             hm::cli::require_size(argv[++i], "--faults kill count", 1, 64);
+      } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+        cache_dir = argv[++i];
       } else {
         csv_path = argv[++i];
       }
@@ -89,6 +98,9 @@ int main(int argc, char** argv) {
 
   hm::explore::SweepEngine::Options opt;
   opt.threads = threads;
+  // --cache-dir wins over the HM_CACHE_DIR environment variable; either
+  // arms the persistent result store under the sweep cache.
+  opt.cache_dir = hm::store::ResultStore::resolve_dir(cache_dir);
   opt.on_progress = [](const hm::explore::SweepProgress& p) {
     std::fprintf(stderr, "\r[%zu/%zu] designs evaluated", p.completed,
                  p.total);
@@ -108,6 +120,7 @@ int main(int argc, char** argv) {
       topt.params = params;
       topt.params.throughput_warmup = 2000;  // search-speed windows
       topt.params.throughput_measure = 2000;
+      topt.cache_dir = opt.cache_dir;  // share the persistent store
       // One engine for every sweep size: runs share the worker pool and
       // the sharded result cache (TemperingEngine::run is re-entrant).
       hm::search::TemperingEngine searcher(topt);
@@ -200,6 +213,16 @@ int main(int argc, char** argv) {
         hm::explore::export_file(csv_path, records);
       }
       std::printf("\nraw records exported: %s\n", csv_path.c_str());
+    }
+
+    if (!opt.cache_dir.empty()) {
+      engine.cache().flush_to_store();
+      const auto stats =
+          hm::store::ResultStore::open(opt.cache_dir)->stats();
+      std::fprintf(stderr,
+                   "store %s: %zu entries, %zu segments, %llu bytes\n",
+                   opt.cache_dir.c_str(), stats.entries, stats.segments,
+                   static_cast<unsigned long long>(stats.disk_bytes));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());

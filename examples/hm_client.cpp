@@ -1,0 +1,356 @@
+// hm_client: drive a running hm_server over its framed binary protocol.
+//
+//   ./hm_client (--unix PATH | --port P) COMMAND...
+//
+//   ping                               liveness round trip
+//   evaluate FAMILY N [--seed S] [--out FILE]
+//       evaluate one design point; prints the result fields, --out dumps
+//       the raw reply body (the store codec bytes — byte-identical across
+//       runs for identical requests, which CI cmp's)
+//   sweep FAM[,FAM...] N[,N...] [--seed S] [--no-sim] [--out FILE]
+//       run a sweep server-side; prints/dumps the deterministic CSV
+//   search FAMILY N STEPS [--seed S]   local search server-side
+//   stats                              JSON server statistics
+//   shutdown                           ask the server to drain and exit
+//   badframe                           send malformed/truncated frames and
+//                                      verify the server rejects them and
+//                                      survives (exit 0 = it did)
+//
+// FAMILY is grid | brickwall | hexamesh | honeycomb.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "cli_util.hpp"
+#include "core/arrangement.hpp"
+#include "server/protocol.hpp"
+#include "store/record.hpp"
+#include "util/byte_io.hpp"
+
+namespace {
+
+using namespace hm;
+using namespace hm::server;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--unix PATH | --port P) "
+      "(ping | evaluate FAMILY N [--seed S] [--out F] | "
+      "sweep FAMS NS [--seed S] [--no-sim] [--out F] | "
+      "search FAMILY N STEPS [--seed S] | stats | shutdown | badframe)\n",
+      argv0);
+  std::exit(1);
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct Endpoint {
+  std::string unix_path;
+  int port = -1;
+  [[nodiscard]] int connect() const {
+    const int fd = unix_path.empty() ? connect_tcp(port)
+                                     : connect_unix(unix_path);
+    if (fd < 0) std::fprintf(stderr, "cannot connect to server\n");
+    return fd;
+  }
+};
+
+core::ArrangementType parse_family(const std::string& name) {
+  if (name == "grid") return core::ArrangementType::kGrid;
+  if (name == "brickwall") return core::ArrangementType::kBrickwall;
+  if (name == "hexamesh") return core::ArrangementType::kHexaMesh;
+  if (name == "honeycomb") return core::ArrangementType::kHoneycomb;
+  std::fprintf(stderr, "unknown family '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+/// One request/reply round trip. Returns nullopt on transport failure.
+std::optional<std::pair<Status, std::vector<std::uint8_t>>> roundtrip(
+    int fd, Command cmd, const std::vector<std::uint8_t>& payload) {
+  if (!write_frame(fd, kRequestMagic, cmd, payload)) return std::nullopt;
+  FrameHeader header;
+  std::vector<std::uint8_t> reply;
+  if (read_frame(fd, kReplyMagic, &header, &reply) != ReadResult::kOk) {
+    return std::nullopt;
+  }
+  const auto view = parse_reply_payload(reply.data(), reply.size());
+  if (!view) return std::nullopt;
+  return std::make_pair(
+      view->status,
+      std::vector<std::uint8_t>(view->body, view->body + view->body_size));
+}
+
+void write_out(const std::string& path, const std::vector<std::uint8_t>& b) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (!b.empty()) std::fwrite(b.data(), 1, b.size(), f);
+  std::fclose(f);
+}
+
+int fail_with(Status status, const std::vector<std::uint8_t>& body) {
+  std::fprintf(stderr, "server replied status %u: %.*s\n",
+               static_cast<unsigned>(status), static_cast<int>(body.size()),
+               reinterpret_cast<const char*>(body.data()));
+  return 1;
+}
+
+/// badframe: malformed frames must be rejected without killing the server.
+int run_badframe(const Endpoint& ep) {
+  // 1. Wrong magic, otherwise plausible header: expect a kBadRequest reply
+  //    (the header still frames) and then a closed connection.
+  {
+    const int fd = ep.connect();
+    if (fd < 0) return 1;
+    std::vector<std::uint8_t> raw;
+    util::ByteWriter w(raw);
+    w.u32(0x58585858u).u16(kProtocolVersion).u16(0).u32(0);  // "XXXX"
+    if (!write_all(fd, raw.data(), raw.size())) return 1;
+    FrameHeader header;
+    std::vector<std::uint8_t> reply;
+    if (read_frame(fd, kReplyMagic, &header, &reply) == ReadResult::kOk) {
+      const auto view = parse_reply_payload(reply.data(), reply.size());
+      if (!view || view->status != Status::kBadRequest) {
+        std::fprintf(stderr, "bad-magic frame was not rejected\n");
+        return 1;
+      }
+    }
+    ::close(fd);
+  }
+  // 2. Oversized payload_len: must be rejected, never allocated/awaited.
+  {
+    const int fd = ep.connect();
+    if (fd < 0) return 1;
+    std::vector<std::uint8_t> raw;
+    util::ByteWriter w(raw);
+    w.u32(kRequestMagic).u16(kProtocolVersion).u16(1).u32(0x7fffffffu);
+    if (!write_all(fd, raw.data(), raw.size())) return 1;
+    FrameHeader header;
+    std::vector<std::uint8_t> reply;
+    if (read_frame(fd, kReplyMagic, &header, &reply) == ReadResult::kOk) {
+      const auto view = parse_reply_payload(reply.data(), reply.size());
+      if (!view || view->status != Status::kBadRequest) {
+        std::fprintf(stderr, "oversized frame was not rejected\n");
+        return 1;
+      }
+    }
+    ::close(fd);
+  }
+  // 3. Truncated frame: promise a payload, close mid-frame.
+  {
+    const int fd = ep.connect();
+    if (fd < 0) return 1;
+    std::vector<std::uint8_t> raw;
+    util::ByteWriter w(raw);
+    w.u32(kRequestMagic).u16(kProtocolVersion).u16(1).u32(64);
+    raw.push_back(0xab);  // 1 of the promised 64 payload bytes
+    (void)write_all(fd, raw.data(), raw.size());
+    ::close(fd);
+  }
+  // 4. The server must still answer a clean ping.
+  const int fd = ep.connect();
+  if (fd < 0) {
+    std::fprintf(stderr, "server died after malformed frames\n");
+    return 1;
+  }
+  const auto pong = roundtrip(fd, Command::kPing, {});
+  ::close(fd);
+  if (!pong || pong->first != Status::kOk) {
+    std::fprintf(stderr, "server did not survive malformed frames\n");
+    return 1;
+  }
+  std::printf("badframe: server rejected malformed frames and survived\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Endpoint ep;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--unix") == 0 && i + 1 < argc) {
+      ep.unix_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      ep.port = static_cast<int>(
+          hm::cli::require_unsigned(argv[++i], "--port", 1, 65535));
+    } else {
+      break;
+    }
+  }
+  if ((ep.unix_path.empty() && ep.port < 0) || i >= argc) usage(argv[0]);
+  const std::string command = argv[i++];
+
+  // Trailing options shared by the work commands.
+  std::uint64_t seed = 42;
+  bool no_sim = false;
+  std::string out_path;
+  std::vector<std::string> positional;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = hm::cli::require_u64(argv[++i], "--seed");
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-sim") == 0) {
+      no_sim = true;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+
+  if (command == "badframe") return run_badframe(ep);
+
+  Command cmd;
+  std::vector<std::uint8_t> payload;
+  if (command == "ping") {
+    cmd = Command::kPing;
+  } else if (command == "stats") {
+    cmd = Command::kStats;
+  } else if (command == "shutdown") {
+    cmd = Command::kShutdown;
+  } else if (command == "evaluate") {
+    if (positional.size() != 2) usage(argv[0]);
+    EvaluateRequest req;
+    req.type = parse_family(positional[0]);
+    req.chiplet_count = hm::cli::require_size(positional[1].c_str(), "N", 1,
+                                              hm::cli::kMaxChiplets);
+    req.seed = seed;
+    encode_evaluate_request(req, payload);
+    cmd = Command::kEvaluate;
+  } else if (command == "sweep") {
+    if (positional.size() != 2) usage(argv[0]);
+    SweepRequest req;
+    std::string token;
+    for (const char* p = positional[0].c_str();; ++p) {
+      if (*p == ',' || *p == '\0') {
+        req.types.push_back(parse_family(token));
+        token.clear();
+        if (*p == '\0') break;
+      } else {
+        token += *p;
+      }
+    }
+    for (const char* p = positional[1].c_str();; ++p) {
+      if (*p == ',' || *p == '\0') {
+        req.chiplet_counts.push_back(
+            hm::cli::require_size(token.c_str(), "N", 1,
+                                  hm::cli::kMaxChiplets));
+        token.clear();
+        if (*p == '\0') break;
+      } else {
+        token += *p;
+      }
+    }
+    req.base_seed = seed;
+    req.simulate = !no_sim;
+    encode_sweep_request(req, payload);
+    cmd = Command::kSweep;
+  } else if (command == "search") {
+    if (positional.size() != 3) usage(argv[0]);
+    SearchRequest req;
+    req.type = parse_family(positional[0]);
+    req.chiplet_count = hm::cli::require_size(positional[1].c_str(), "N", 2,
+                                              hm::cli::kMaxChiplets);
+    req.steps = hm::cli::require_size(positional[2].c_str(), "steps", 1,
+                                      100000);
+    req.seed = seed;
+    encode_search_request(req, payload);
+    cmd = Command::kSearch;
+  } else {
+    usage(argv[0]);
+  }
+
+  const int fd = ep.connect();
+  if (fd < 0) return 1;
+  const auto reply = roundtrip(fd, cmd, payload);
+  ::close(fd);
+  if (!reply) {
+    std::fprintf(stderr, "transport error talking to server\n");
+    return 1;
+  }
+  const auto& [status, body] = *reply;
+  if (status != Status::kOk) return fail_with(status, body);
+
+  if (!out_path.empty()) write_out(out_path, body);
+
+  if (cmd == Command::kPing) {
+    std::printf("pong\n");
+  } else if (cmd == Command::kShutdown) {
+    std::printf("server shutting down\n");
+  } else if (cmd == Command::kStats) {
+    std::printf("%.*s\n", static_cast<int>(body.size()),
+                reinterpret_cast<const char*>(body.data()));
+  } else if (cmd == Command::kEvaluate) {
+    const auto result = store::decode_result(body.data(), body.size());
+    if (!result) {
+      std::fprintf(stderr, "undecodable evaluate reply\n");
+      return 1;
+    }
+    std::printf("chiplets: %zu\nlinks: %zu\ndiameter: %d\n"
+                "avg_hops: %.6g\nzero_load_latency: %.6g cycles\n"
+                "saturation: %.6g Tb/s\n",
+                result->chiplet_count, result->link_count, result->diameter,
+                result->avg_hop_distance, result->zero_load_latency_cycles,
+                result->saturation_throughput_bps / 1e12);
+  } else if (cmd == Command::kSweep) {
+    if (out_path.empty()) {
+      std::fwrite(body.data(), 1, body.size(), stdout);
+    } else {
+      std::printf("sweep CSV written: %s (%zu bytes)\n", out_path.c_str(),
+                  body.size());
+    }
+  } else if (cmd == Command::kSearch) {
+    util::ByteReader rd(body.data(), body.size());
+    const double best = rd.f64();
+    const double baseline = rd.f64();
+    const std::uint64_t evals = rd.u64();
+    if (!rd.ok()) {
+      std::fprintf(stderr, "undecodable search reply\n");
+      return 1;
+    }
+    std::printf("best: %.6g\nbaseline: %.6g\nevaluations: %llu\n", best,
+                baseline, static_cast<unsigned long long>(evals));
+  }
+  return 0;
+}

@@ -20,6 +20,8 @@
 //       --threads K         candidate-evaluation concurrency (default: hw)
 //       --seed S            search RNG base seed (default 42)
 //       --trace out.csv     export the search trace (.json for JSON)
+//       --cache-dir DIR     persist candidate results in an on-disk store
+//                           (also via HM_CACHE_DIR; the flag wins)
 //       --telemetry         print the metrics snapshot on exit
 //       --chrome-trace F    record a Chrome trace (load in Perfetto);
 //                           distinct from --trace, which stays the
@@ -35,6 +37,7 @@
 #include "noc/routing.hpp"
 #include "search/search.hpp"
 #include "search/tempering.hpp"
+#include "store/result_store.hpp"
 
 namespace {
 
@@ -45,7 +48,7 @@ void usage_and_exit(const char* argv0) {
       "[--tempering K] [--exchange I] [--objective thr|latency|"
       "thr-per-area|robust] [--area-weight W] [--latency] "
       "[--fault-kills K] [--threads K] "
-      "[--seed S] [--trace out.csv] [--telemetry] "
+      "[--seed S] [--trace out.csv] [--cache-dir DIR] [--telemetry] "
       "[--chrome-trace out.json]\n",
       argv0);
   std::exit(1);
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   unsigned long long seed = 42;
   std::string trace_path;
+  std::string cache_dir;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) {
@@ -119,6 +123,8 @@ int main(int argc, char** argv) {
       seed = hm::cli::require_u64(need_value("--seed"), "--seed");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = need_value("--trace");
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      cache_dir = need_value("--cache-dir");
     } else if (positional == 0) {
       family = argv[i];
       ++positional;
@@ -189,6 +195,9 @@ int main(int argc, char** argv) {
 
   try {
     const core::Arrangement start = core::make_arrangement(type, n);
+    // --cache-dir wins over HM_CACHE_DIR; either arms the persistent store
+    // under whichever engine runs below.
+    const std::string store_dir = hm::store::ResultStore::resolve_dir(cache_dir);
 
     if (tempering_replicas > 0) {
       hm::search::TemperingOptions opt;
@@ -199,6 +208,7 @@ int main(int argc, char** argv) {
       opt.threads = threads;
       opt.seed = seed;
       opt.params = params;
+      opt.cache_dir = store_dir;
       opt.on_progress = [](const hm::search::TemperingProgress& p) {
         std::fprintf(stderr, "\r[%zu/%zu] best %.4g", p.step, p.total,
                      p.best_score);
@@ -243,6 +253,7 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.seed = seed;
     opt.params = params;
+    opt.cache_dir = store_dir;
     opt.on_progress = [](const hm::search::SearchProgress& p) {
       std::fprintf(stderr, "\r[%zu/%zu] best %.4g", p.step, p.total,
                    p.best_score);

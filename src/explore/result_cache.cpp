@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "store/result_store.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hm::explore {
@@ -29,23 +30,85 @@ struct ShardCounters {
   }
 };
 
+ShardCounters& shard_counters() {
+  static ShardCounters counters("cache", 16);
+  return counters;
+}
+
 }  // namespace
+
+ResultCache::~ResultCache() {
+  try {
+    flush_to_store();
+  } catch (...) {
+  }
+}
+
+void ResultCache::attach_store(std::shared_ptr<store::ResultStore> store) {
+  store_ = std::move(store);
+}
+
+std::size_t ResultCache::flush_to_store() {
+  if (store_ == nullptr) return 0;
+  std::size_t written = 0;
+  for (Shard& shard : shards_) {
+    // Snapshot the dirty entries under the lock, write them through
+    // outside it (store puts take the store's own lock).
+    std::vector<std::pair<std::uint64_t, core::EvaluationResult>> batch;
+    {
+      const std::unique_lock<std::shared_mutex> lock(shard.mu);
+      batch.reserve(shard.dirty.size());
+      for (const std::uint64_t key : shard.dirty) {
+        const auto it = shard.map.find(key);
+        if (it != shard.map.end()) batch.emplace_back(key, it->second);
+      }
+      shard.dirty.clear();
+    }
+    for (auto& [key, result] : batch) {
+      store_->put(key, result);
+      ++written;
+    }
+  }
+  store_->flush();
+  return written;
+}
 
 std::optional<core::EvaluationResult> ResultCache::lookup(
     std::uint64_t key) const {
-  static ShardCounters counters("cache", kShards);
+  ShardCounters& counters = shard_counters();
   const std::size_t shard_idx = key & (kShards - 1);
   const Shard& shard = shards_[shard_idx];
-  const std::shared_lock<std::shared_mutex> lock(shard.mu);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    counters.misses[shard_idx].add();
-    return std::nullopt;
+  {
+    const std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      counters.hits[shard_idx].add();
+      return it->second;
+    }
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  counters.hits[shard_idx].add();
-  return it->second;
+  // Memory miss: fall through to the persistent tier. Only entries at or
+  // above the clear() watermark are served (older disk state must not
+  // resurrect cleared keys).
+  if (store_ != nullptr) {
+    std::uint64_t seq = 0;
+    if (auto stored = store_->lookup(key, &seq)) {
+      if (seq >= store_watermark_.load(std::memory_order_relaxed)) {
+        {
+          Shard& mutable_shard = shards_[shard_idx];
+          const std::unique_lock<std::shared_mutex> lock(mutable_shard.mu);
+          mutable_shard.map.insert_or_assign(key, *stored);
+          // Disk-sourced: not dirty, flushing it back would be a no-op.
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        counters.hits[shard_idx].add();
+        return stored;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  counters.misses[shard_idx].add();
+  return std::nullopt;
 }
 
 void ResultCache::insert(std::uint64_t key,
@@ -53,6 +116,7 @@ void ResultCache::insert(std::uint64_t key,
   Shard& shard = shard_for(key);
   const std::unique_lock<std::shared_mutex> lock(shard.mu);
   shard.map.insert_or_assign(key, result);
+  if (store_ != nullptr) shard.dirty.insert(key);
 }
 
 std::size_t ResultCache::size() const {
@@ -65,9 +129,18 @@ std::size_t ResultCache::size() const {
 }
 
 void ResultCache::clear() {
+  // Dirty sets go first, in the same critical section as the map wipe:
+  // a cleared entry must never survive into a later flush_to_store().
   for (Shard& shard : shards_) {
     const std::unique_lock<std::shared_mutex> lock(shard.mu);
     shard.map.clear();
+    shard.dirty.clear();
+  }
+  if (store_ != nullptr) {
+    // Everything the store holds right now predates this clear; only
+    // entries sequenced after it may be served from disk again.
+    store_watermark_.store(store_->next_sequence(),
+                           std::memory_order_relaxed);
   }
 }
 

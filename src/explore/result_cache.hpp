@@ -15,23 +15,56 @@
 // 64-bit content hashes, so shard selection is uniform). get_or_compute is
 // a template over the compute callable — no std::function allocation on
 // the per-job path.
+// Persistence: attach_store() hangs a store::ResultStore under the cache
+// as a second tier. Memory misses fall through to the store (a disk hit
+// repopulates the shard and counts as a cache hit), inserts are tracked as
+// dirty per shard, and flush_to_store() — also run by the destructor —
+// writes the dirty set through. clear() drops the dirty sets *before* any
+// flush and takes a store sequence watermark, so cleared entries neither
+// reach disk nor resurrect from pre-clear disk state.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "core/evaluator.hpp"
+
+namespace hm::store {
+class ResultStore;
+}  // namespace hm::store
 
 namespace hm::explore {
 
 class ResultCache {
  public:
+  ResultCache() = default;
+  /// Flushes dirty entries to the attached store, if any (errors swallowed:
+  /// a failed shutdown flush costs warmth, never correctness).
+  ~ResultCache();
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Attaches the persistent tier. Call before the cache is shared across
+  /// threads (engines attach in their constructor); passing nullptr
+  /// detaches. Entries already in memory are left alone (and stay
+  /// non-dirty — only post-attach inserts are flushed).
+  void attach_store(std::shared_ptr<store::ResultStore> store);
+  [[nodiscard]] bool has_store() const noexcept { return store_ != nullptr; }
+
+  /// Writes every dirty entry through to the attached store and flushes it
+  /// to disk. Returns the number of entries written (0 without a store).
+  std::size_t flush_to_store();
+
   /// Returns the cached result for `key`, if any. Counts a hit or miss.
+  /// With a store attached, a memory miss falls through to disk; a disk
+  /// hit repopulates the shard (non-dirty) and counts as a hit.
   [[nodiscard]] std::optional<core::EvaluationResult> lookup(
       std::uint64_t key) const;
 
@@ -60,6 +93,12 @@ class ResultCache {
   /// Total entries across all shards (each shard locked in turn, so the
   /// result is approximate under concurrent insertion).
   [[nodiscard]] std::size_t size() const;
+
+  /// Empties the cache. Entries never inserted again are gone for good:
+  /// the per-shard dirty sets are discarded before anything could flush
+  /// (a cleared entry must not reach disk), and with a store attached the
+  /// store's current sequence becomes a freshness watermark so lookups
+  /// stop resurrecting disk entries that predate the clear.
   void clear();
 
   /// Lifetime lookup counters (lookup() and get_or_compute()).
@@ -78,6 +117,9 @@ class ResultCache {
   struct Shard {
     mutable std::shared_mutex mu;
     std::unordered_map<std::uint64_t, core::EvaluationResult> map;
+    /// Keys inserted since the last flush_to_store() (only tracked while a
+    /// store is attached; disk-sourced entries are never dirty).
+    std::unordered_set<std::uint64_t> dirty;
   };
 
   /// Keys are stable content hashes (already well mixed), so the low bits
@@ -89,6 +131,10 @@ class ResultCache {
   mutable std::array<Shard, kShards> shards_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  std::shared_ptr<store::ResultStore> store_;
+  /// Store entries with seq < watermark predate the last clear() and are
+  /// not served (the resurrection guard).
+  mutable std::atomic<std::uint64_t> store_watermark_{0};
 };
 
 }  // namespace hm::explore

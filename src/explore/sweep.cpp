@@ -4,9 +4,9 @@
 #include <exception>
 #include <stdexcept>
 
-#include "explore/hash.hpp"
+#include "explore/cached_eval.hpp"
 #include "noc/rng.hpp"
-#include "noc/topology.hpp"
+#include "store/result_store.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -58,7 +58,11 @@ std::vector<SweepPoint> SweepSpec::points() const {
 SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
 
 SweepEngine::SweepEngine(Options options)
-    : options_(std::move(options)), pool_(options_.threads) {}
+    : options_(std::move(options)), pool_(options_.threads) {
+  if (!options_.cache_dir.empty()) {
+    cache_.attach_store(store::ResultStore::open(options_.cache_dir));
+  }
+}
 
 void SweepEngine::add_arrangement(core::Arrangement arrangement,
                                   std::string label) {
@@ -90,40 +94,12 @@ SweepRecord SweepEngine::evaluate_point(const SweepPoint& point) {
     noc::ProbeExecutor* executor =
         options_.intra_design_parallelism ? &bounded : nullptr;
 
-    const auto cached_eval = [&](std::uint64_t key, auto compute) {
-      if (!options_.use_cache) {
-        rec.from_cache = false;
-        return compute();
-      }
-      return cache_.get_or_compute(key, compute, &rec.from_cache);
-    };
-
-    // Analytic half, shared across every simulator/traffic ablation of the
-    // same design via the cache.
-    const std::uint64_t analytic_key = hash_combine(
-        hash_arrangement(arr), hash_analytic_params(point.params));
-    const auto analytic = cached_eval(
-        analytic_key,
-        [&] { return core::evaluate_analytic(arr, point.params); });
-
-    const bool want_sim = point.params.measure_latency ||
-                          point.params.measure_saturation;
-    if (!want_sim || point.chiplet_count < 2) {
-      rec.analytic_only = true;
-      rec.result = analytic;
-    } else {
-      const std::uint64_t full_key = hash_combine(
-          hash_combine(analytic_key, hash_simulation_params(point.params)),
-          hash_traffic(point.traffic));
-      rec.result = cached_eval(full_key, [&] {
-        // One shared topology per job chain; the process-wide context
-        // cache additionally shares it across concurrent jobs that ablate
-        // the same design (different seeds/params/traffic, same graph).
-        return core::evaluate_simulation(
-            arr, point.params, analytic, point.traffic, executor,
-            noc::TopologyContext::acquire(arr.graph()));
-      });
-    }
+    CachedEvalOutcome outcome;
+    rec.result = cached_evaluate(arr, point.params, point.traffic,
+                                 options_.use_cache ? &cache_ : nullptr,
+                                 executor, &outcome);
+    rec.from_cache = outcome.from_cache;
+    rec.analytic_only = outcome.analytic_only;
   } catch (const std::exception& e) {
     rec.error = e.what();
   } catch (...) {

@@ -135,6 +135,12 @@ class SweepEngine {
     /// In-flight cap per job for intra-design probes (see above). <= 1
     /// runs every intra-design probe inline on the job's own worker.
     std::size_t max_intra_probes = 4;
+    /// Directory of a persistent store::ResultStore attached under the
+    /// cache (opened/created in the constructor; empty = memory only).
+    /// A warm store turns re-runs of the same sweep into pure lookups.
+    /// Flushed to disk when the engine is destroyed; flush earlier via
+    /// cache().flush_to_store().
+    std::string cache_dir;
     /// Called after every completed job, serialized (never concurrently).
     std::function<void(const SweepProgress&)> on_progress;
   };

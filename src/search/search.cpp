@@ -11,6 +11,7 @@
 #include "noc/rng.hpp"
 #include "noc/topology.hpp"
 #include "search/trace_io.hpp"
+#include "store/result_store.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -21,7 +22,11 @@ using detail::fmt;
 SearchEngine::SearchEngine() : SearchEngine(SearchOptions{}) {}
 
 SearchEngine::SearchEngine(SearchOptions options)
-    : options_(std::move(options)), pool_(options_.threads) {}
+    : options_(std::move(options)), pool_(options_.threads) {
+  if (!options_.cache_dir.empty()) {
+    cache_.attach_store(store::ResultStore::open(options_.cache_dir));
+  }
+}
 
 double SearchEngine::score_of(const core::EvaluationResult& r) const {
   return score(options_.objective, r);

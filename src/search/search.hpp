@@ -84,6 +84,10 @@ struct SearchOptions {
   /// 0 = hardware threads.
   unsigned threads = 0;
   bool use_cache = true;
+  /// Directory of a persistent store::ResultStore attached under the
+  /// result cache (empty = memory only). Re-searching a neighbourhood with
+  /// a warm store serves revisited states from disk instead of simulating.
+  std::string cache_dir;
 
   /// Base of the per-step RNG derivation (noc::derive_seed(seed, step)).
   unsigned long long seed = 42;

@@ -11,6 +11,7 @@
 #include "noc/rng.hpp"
 #include "noc/topology.hpp"
 #include "search/trace_io.hpp"
+#include "store/result_store.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -39,7 +40,11 @@ struct Replica {
 TemperingEngine::TemperingEngine() : TemperingEngine(TemperingOptions{}) {}
 
 TemperingEngine::TemperingEngine(TemperingOptions options)
-    : options_(std::move(options)), pool_(options_.threads) {}
+    : options_(std::move(options)), pool_(options_.threads) {
+  if (!options_.cache_dir.empty()) {
+    cache_.attach_store(store::ResultStore::open(options_.cache_dir));
+  }
+}
 
 TemperingResult TemperingEngine::run(const core::Arrangement& start) {
   if (start.chiplet_count() < 2) {

@@ -102,6 +102,9 @@ struct TemperingOptions {
   /// Worker concurrency for candidate evaluation; 0 = hardware threads.
   unsigned threads = 0;
   bool use_cache = true;
+  /// Directory of a persistent store::ResultStore attached under the
+  /// result cache (empty = memory only); see SearchOptions::cache_dir.
+  std::string cache_dir;
 
   /// Base of every RNG derivation (see the determinism contract above).
   unsigned long long seed = 42;

@@ -1,0 +1,227 @@
+#include "server/protocol.hpp"
+
+#include <cerrno>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+#include "util/byte_io.hpp"
+
+namespace hm::server {
+
+void encode_frame(std::uint32_t magic, Command command,
+                  const std::vector<std::uint8_t>& payload,
+                  std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  w.u32(magic)
+      .u16(kProtocolVersion)
+      .u16(static_cast<std::uint16_t>(command))
+      .u32(static_cast<std::uint32_t>(payload.size()))
+      .bytes(payload.data(), payload.size());
+}
+
+std::optional<FrameHeader> parse_frame_header(const std::uint8_t* data,
+                                              std::size_t size) {
+  if (size < kFrameHeaderSize) return std::nullopt;
+  util::ByteReader rd(data, kFrameHeaderSize);
+  FrameHeader h;
+  h.magic = rd.u32();
+  h.version = rd.u16();
+  h.command = rd.u16();
+  h.payload_len = rd.u32();
+  return h;
+}
+
+bool frame_header_ok(const FrameHeader& h, std::uint32_t expected_magic) {
+  return h.magic == expected_magic && h.version == kProtocolVersion &&
+         h.payload_len <= kMaxPayload;
+}
+
+namespace {
+
+constexpr std::uint8_t kMaxFamily =
+    static_cast<std::uint8_t>(core::ArrangementType::kHoneycomb);
+
+[[nodiscard]] std::optional<core::ArrangementType> family_of(
+    std::uint8_t raw) {
+  if (raw > kMaxFamily) return std::nullopt;
+  return static_cast<core::ArrangementType>(raw);
+}
+
+}  // namespace
+
+void encode_evaluate_request(const EvaluateRequest& r,
+                             std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((r.measure_latency ? 1 : 0) |
+                                (r.measure_saturation ? 2 : 0));
+  w.u8(static_cast<std::uint8_t>(r.type))
+      .u64(r.chiplet_count)
+      .u64(r.seed)
+      .u8(flags);
+}
+
+std::optional<EvaluateRequest> decode_evaluate_request(
+    const std::uint8_t* data, std::size_t size) {
+  util::ByteReader rd(data, size);
+  EvaluateRequest r;
+  const auto family = family_of(rd.u8());
+  if (!family) return std::nullopt;
+  r.type = *family;
+  r.chiplet_count = rd.u64();
+  r.seed = rd.u64();
+  const std::uint8_t flags = rd.u8();
+  if (!rd.exhausted() || flags > 3 || r.chiplet_count == 0) {
+    return std::nullopt;
+  }
+  r.measure_latency = (flags & 1) != 0;
+  r.measure_saturation = (flags & 2) != 0;
+  return r;
+}
+
+void encode_sweep_request(const SweepRequest& r,
+                          std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(r.types.size()));
+  for (const auto t : r.types) w.u8(static_cast<std::uint8_t>(t));
+  w.u8(static_cast<std::uint8_t>(r.chiplet_counts.size()));
+  for (const auto n : r.chiplet_counts) w.u64(n);
+  w.u64(r.base_seed).boolean(r.simulate);
+}
+
+std::optional<SweepRequest> decode_sweep_request(const std::uint8_t* data,
+                                                 std::size_t size) {
+  util::ByteReader rd(data, size);
+  SweepRequest r;
+  const std::uint8_t nfam = rd.u8();
+  if (nfam == 0) return std::nullopt;
+  for (std::uint8_t i = 0; i < nfam; ++i) {
+    const auto family = family_of(rd.u8());
+    if (!family) return std::nullopt;
+    r.types.push_back(*family);
+  }
+  const std::uint8_t ncnt = rd.u8();
+  if (ncnt == 0) return std::nullopt;
+  for (std::uint8_t i = 0; i < ncnt; ++i) {
+    const std::uint64_t n = rd.u64();
+    if (n == 0) return std::nullopt;
+    r.chiplet_counts.push_back(n);
+  }
+  r.base_seed = rd.u64();
+  r.simulate = rd.boolean();
+  if (!rd.exhausted()) return std::nullopt;
+  return r;
+}
+
+void encode_search_request(const SearchRequest& r,
+                           std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(r.type))
+      .u64(r.chiplet_count)
+      .u64(r.steps)
+      .u64(r.seed);
+}
+
+std::optional<SearchRequest> decode_search_request(const std::uint8_t* data,
+                                                   std::size_t size) {
+  util::ByteReader rd(data, size);
+  SearchRequest r;
+  const auto family = family_of(rd.u8());
+  if (!family) return std::nullopt;
+  r.type = *family;
+  r.chiplet_count = rd.u64();
+  r.steps = rd.u64();
+  r.seed = rd.u64();
+  if (!rd.exhausted() || r.chiplet_count < 2 || r.steps == 0) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+void encode_reply_payload(Status status,
+                          const std::vector<std::uint8_t>& body,
+                          std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  w.u16(static_cast<std::uint16_t>(status)).bytes(body.data(), body.size());
+}
+
+std::optional<ReplyView> parse_reply_payload(const std::uint8_t* data,
+                                             std::size_t size) {
+  if (size < 2) return std::nullopt;
+  util::ByteReader rd(data, 2);
+  const std::uint16_t raw = rd.u16();
+  if (raw > static_cast<std::uint16_t>(Status::kShuttingDown)) {
+    return std::nullopt;
+  }
+  ReplyView view;
+  view.status = static_cast<Status>(raw);
+  view.body = data + 2;
+  view.body_size = size - 2;
+  return view;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r == 0) return false;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, p + sent, n - sent, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+ReadResult read_frame(int fd, std::uint32_t expected_magic,
+                      FrameHeader* header,
+                      std::vector<std::uint8_t>* payload) {
+  std::uint8_t raw[kFrameHeaderSize];
+  // Distinguish a clean pre-header close (kEof) from a mid-frame death:
+  // read the first byte separately.
+  if (!read_exact(fd, raw, 1)) return ReadResult::kEof;
+  if (!read_exact(fd, raw + 1, kFrameHeaderSize - 1)) {
+    return ReadResult::kTruncated;
+  }
+  const auto parsed = parse_frame_header(raw, kFrameHeaderSize);
+  *header = *parsed;
+  if (!frame_header_ok(*header, expected_magic)) {
+    return ReadResult::kBadHeader;
+  }
+  payload->resize(header->payload_len);
+  if (header->payload_len > 0 &&
+      !read_exact(fd, payload->data(), payload->size())) {
+    return ReadResult::kTruncated;
+  }
+  return ReadResult::kOk;
+}
+
+bool write_frame(int fd, std::uint32_t magic, Command command,
+                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> framed;
+  framed.reserve(kFrameHeaderSize + payload.size());
+  encode_frame(magic, command, payload, framed);
+  return write_all(fd, framed.data(), framed.size());
+}
+
+}  // namespace hm::server

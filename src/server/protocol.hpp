@@ -1,0 +1,170 @@
+// Framed binary wire protocol of hm_server.
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//   0       4     magic       "HMRQ" (request) / "HMRP" (reply), LE u32
+//   4       2     version     kProtocolVersion; mismatches are rejected
+//   6       2     command     Command (request) / echoed command (reply)
+//   8       4     payload_len <= kMaxPayload
+//   12      n     payload
+//
+// Reply payloads start with a u16 Status; the body that follows is
+// command-specific on kOk and a human-readable message string otherwise.
+// All integers are little-endian via util/byte_io.hpp, and evaluate reply
+// bodies reuse the persistent store's EvaluationResult codec
+// (store/record.hpp) — so identical requests produce byte-identical
+// replies across runs and hosts (the determinism CI cmp's).
+//
+// Command table (version 1):
+//   kPing      empty                      -> empty
+//   kEvaluate  u8 family, u64 n, u64 seed,
+//              u8 flags (1=latency, 2=saturation)
+//                                         -> encoded EvaluationResult
+//   kSweep     u8 nfam, families...,
+//              u8 ncnt, u64 counts...,
+//              u64 base_seed, u8 simulate -> sweep CSV bytes
+//   kSearch    u8 family, u64 n, u64 steps,
+//              u64 seed                   -> f64 best, f64 baseline,
+//                                            u64 evaluations,
+//                                            encoded best EvaluationResult
+//   kStats     empty                      -> JSON text (nondeterministic)
+//   kShutdown  empty                      -> empty; server then drains
+//
+// Malformed-input contract: a frame with bad magic, foreign version or an
+// oversized payload_len gets a kBadRequest reply (when a reply can still
+// be framed) and the connection is closed; a truncated frame just closes
+// the connection. The server itself always survives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/arrangement.hpp"
+
+namespace hm::server {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// "HMRQ" / "HMRP" as little-endian u32s.
+inline constexpr std::uint32_t kRequestMagic = 0x51524d48u;
+inline constexpr std::uint32_t kReplyMagic = 0x50524d48u;
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+
+enum class Command : std::uint16_t {
+  kPing = 0,
+  kEvaluate = 1,
+  kSweep = 2,
+  kSearch = 3,
+  kStats = 4,
+  kShutdown = 5,
+};
+
+enum class Status : std::uint16_t {
+  kOk = 0,
+  kBadRequest = 1,   ///< unparsable frame or request body
+  kRejected = 2,     ///< admission control: queue full, try again
+  kError = 3,        ///< evaluation threw; body carries the message
+  kShuttingDown = 4, ///< server is draining; no new work accepted
+};
+
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t command = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// Serializes a frame header + payload. `magic` selects request vs reply.
+void encode_frame(std::uint32_t magic, Command command,
+                  const std::vector<std::uint8_t>& payload,
+                  std::vector<std::uint8_t>& out);
+
+/// Parses the fixed 12-byte header. Returns nullopt when `size` is short;
+/// magic/version/length validation is the caller's (see frame_header_ok).
+[[nodiscard]] std::optional<FrameHeader> parse_frame_header(
+    const std::uint8_t* data, std::size_t size);
+
+/// Validates a parsed header against the expected magic, the protocol
+/// version and the payload cap.
+[[nodiscard]] bool frame_header_ok(const FrameHeader& h,
+                                   std::uint32_t expected_magic);
+
+// ---------------------------------------------------------------- requests
+
+struct EvaluateRequest {
+  core::ArrangementType type = core::ArrangementType::kHexaMesh;
+  std::uint64_t chiplet_count = 0;
+  std::uint64_t seed = 0;
+  bool measure_latency = true;
+  bool measure_saturation = true;
+};
+
+struct SweepRequest {
+  std::vector<core::ArrangementType> types;
+  std::vector<std::uint64_t> chiplet_counts;
+  std::uint64_t base_seed = 42;
+  bool simulate = true;
+};
+
+struct SearchRequest {
+  core::ArrangementType type = core::ArrangementType::kHexaMesh;
+  std::uint64_t chiplet_count = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t seed = 42;
+};
+
+void encode_evaluate_request(const EvaluateRequest& r,
+                             std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<EvaluateRequest> decode_evaluate_request(
+    const std::uint8_t* data, std::size_t size);
+
+void encode_sweep_request(const SweepRequest& r,
+                          std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<SweepRequest> decode_sweep_request(
+    const std::uint8_t* data, std::size_t size);
+
+void encode_search_request(const SearchRequest& r,
+                           std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<SearchRequest> decode_search_request(
+    const std::uint8_t* data, std::size_t size);
+
+/// Builds a reply payload: u16 status + body.
+void encode_reply_payload(Status status, const std::vector<std::uint8_t>& body,
+                          std::vector<std::uint8_t>& out);
+/// Splits a reply payload into status + body view. nullopt when too short.
+struct ReplyView {
+  Status status = Status::kError;
+  const std::uint8_t* body = nullptr;
+  std::size_t body_size = 0;
+};
+[[nodiscard]] std::optional<ReplyView> parse_reply_payload(
+    const std::uint8_t* data, std::size_t size);
+
+// ------------------------------------------------------------- socket I/O
+
+/// Blocking exact read/write with EINTR handling. Return false on EOF or
+/// error (errno left for the caller).
+[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t n);
+[[nodiscard]] bool write_all(int fd, const void* buf, std::size_t n);
+
+enum class ReadResult {
+  kOk,
+  kEof,        ///< clean close before a header byte arrived
+  kBadHeader,  ///< header read but magic/version/length invalid
+  kTruncated,  ///< connection died mid-frame
+};
+
+/// Reads one full frame. `expected_magic` selects the request or reply
+/// direction; on kBadHeader the offending header is left in `header`.
+[[nodiscard]] ReadResult read_frame(int fd, std::uint32_t expected_magic,
+                                    FrameHeader* header,
+                                    std::vector<std::uint8_t>* payload);
+
+/// Frames and writes one message.
+[[nodiscard]] bool write_frame(int fd, std::uint32_t magic, Command command,
+                               const std::vector<std::uint8_t>& payload);
+
+}  // namespace hm::server

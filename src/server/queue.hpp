@@ -1,0 +1,113 @@
+// Per-client fair request queue with admission control — the batching
+// front half of hm_server, kept socket-free so its fairness and admission
+// policies are unit-testable deterministically (tests/test_server.cpp).
+//
+// Policy:
+//   * Admission — push() rejects once the global pending count reaches
+//     max_pending, or the pushing client's own count reaches
+//     max_pending_per_client. A rejected request gets an immediate
+//     kRejected reply instead of unbounded queueing (one chatty client
+//     cannot starve the pool or balloon memory).
+//   * Fairness — pop_batch() drains clients round-robin, one request per
+//     client per turn, starting after the client served last. With client
+//     A holding 3 requests and B, C one each, a batch of 5 comes out
+//     A1 B1 C1 A2 A3 — every client's first request rides in the first
+//     fan-out, no matter how many requests a neighbour queued first.
+//
+// Within one client, order is FIFO — so replies written in batch order
+// reach each client in the order it sent its requests (pipelining works).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace hm::server {
+
+template <typename Request>
+class RequestQueue {
+ public:
+  RequestQueue(std::size_t max_pending, std::size_t max_pending_per_client)
+      : max_pending_(max_pending),
+        max_per_client_(max_pending_per_client) {}
+
+  /// Enqueues `request` for `client`. Returns false (request untouched)
+  /// when admission control rejects it; the caller replies kRejected.
+  bool push(std::uint64_t client, Request request) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      if (pending_ >= max_pending_) return false;
+      auto& q = clients_[client];
+      if (q.size() >= max_per_client_) return false;
+      q.push_back(std::move(request));
+      ++pending_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one request is pending (or the queue closes),
+  /// then collects up to `max_batch` requests round-robin across clients.
+  /// Empty result means the queue is closed and fully drained.
+  std::vector<Request> pop_batch(std::size_t max_batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_ > 0 || closed_; });
+    std::vector<Request> batch;
+    while (batch.size() < max_batch && pending_ > 0) {
+      // One pass of the rotation: one request per non-empty client,
+      // starting just after the client served last time.
+      const std::size_t took_before = batch.size();
+      auto it = clients_.upper_bound(rr_cursor_);
+      for (std::size_t visited = 0;
+           visited < clients_.size() && batch.size() < max_batch;
+           ++visited) {
+        if (it == clients_.end()) it = clients_.begin();
+        if (!it->second.empty()) {
+          batch.push_back(std::move(it->second.front()));
+          it->second.pop_front();
+          --pending_;
+          rr_cursor_ = it->first;
+        }
+        ++it;
+      }
+      if (batch.size() == took_before) break;  // nothing left anywhere
+    }
+    // Drop empty per-client queues so departed clients don't grow the map
+    // (their cursor slot is irrelevant once empty).
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      it = it->second.empty() ? clients_.erase(it) : std::next(it);
+    }
+    return batch;
+  }
+
+  /// Wakes every waiter; subsequent push() fails, pop_batch() drains what
+  /// is left and then returns empty.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
+
+ private:
+  const std::size_t max_pending_;
+  const std::size_t max_per_client_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::deque<Request>> clients_;
+  std::size_t pending_ = 0;
+  std::uint64_t rr_cursor_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hm::server

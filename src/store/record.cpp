@@ -1,0 +1,67 @@
+#include "store/record.hpp"
+
+#include "util/byte_io.hpp"
+
+namespace hm::store {
+
+void encode_result(const core::EvaluationResult& r,
+                   std::vector<std::uint8_t>& out) {
+  util::ByteWriter w(out);
+  w.u8(kResultCodecVersion)
+      .u64(r.chiplet_count)
+      .u8(static_cast<std::uint8_t>(r.regularity))
+      .i64(r.diameter)
+      .f64(r.avg_hop_distance)
+      .u64(r.bisection_links)
+      .u64(r.link_count)
+      .f64(r.chiplet_area_mm2)
+      .f64(r.link_area_mm2)
+      .f64(r.per_link_bandwidth_bps)
+      .f64(r.full_global_bandwidth_bps)
+      .f64(r.zero_load_latency_cycles)
+      .f64(r.saturation_fraction)
+      .f64(r.saturation_throughput_bps)
+      .boolean(r.latency_run_drained)
+      .u64(r.fault_plans_run)
+      .f64(r.fault_degraded_throughput)
+      .f64(r.fault_robust_throughput_bps)
+      .i64(r.fault_recovery_cycles)
+      .u64(r.fault_packets_lost);
+}
+
+std::optional<core::EvaluationResult> decode_result(const std::uint8_t* data,
+                                                    std::size_t size) {
+  if (size != kEncodedResultSize) return std::nullopt;
+  util::ByteReader rd(data, size);
+  if (rd.u8() != kResultCodecVersion) return std::nullopt;
+
+  core::EvaluationResult r;
+  r.chiplet_count = static_cast<std::size_t>(rd.u64());
+  const std::uint8_t regularity = rd.u8();
+  if (regularity >
+      static_cast<std::uint8_t>(core::RegularityClass::kIrregular)) {
+    return std::nullopt;
+  }
+  r.regularity = static_cast<core::RegularityClass>(regularity);
+  r.diameter = static_cast<int>(rd.i64());
+  r.avg_hop_distance = rd.f64();
+  r.bisection_links = static_cast<std::size_t>(rd.u64());
+  r.link_count = static_cast<std::size_t>(rd.u64());
+  r.chiplet_area_mm2 = rd.f64();
+  r.link_area_mm2 = rd.f64();
+  r.per_link_bandwidth_bps = rd.f64();
+  r.full_global_bandwidth_bps = rd.f64();
+  r.zero_load_latency_cycles = rd.f64();
+  r.saturation_fraction = rd.f64();
+  r.saturation_throughput_bps = rd.f64();
+  r.latency_run_drained = rd.boolean();
+  r.fault_plans_run = static_cast<std::size_t>(rd.u64());
+  r.fault_degraded_throughput = rd.f64();
+  r.fault_robust_throughput_bps = rd.f64();
+  r.fault_recovery_cycles = rd.i64();
+  r.fault_packets_lost = rd.u64();
+  if (!rd.exhausted()) return std::nullopt;
+  return r;
+}
+
+}  // namespace hm::store

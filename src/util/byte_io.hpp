@@ -1,0 +1,153 @@
+// Endianness-stable binary serialization primitives.
+//
+// Everything the persistent result store and the server wire protocol put
+// on disk or on a socket goes through these helpers: little-endian byte
+// order written out explicitly with shifts, so a store written on any host
+// reads back identically on any other (the same portability contract the
+// stable hashes of util/stable_hash.hpp give the keys). Doubles travel as
+// their IEEE-754 bit pattern via bit_cast — bit-exact round trips including
+// NaN payloads and -0.0, which the result cache's memo keys distinguish.
+//
+// ByteWriter appends to a caller-owned byte vector; ByteReader consumes a
+// borrowed span with sticky bounds checking (one ok() check at the end
+// replaces per-field error handling, and a truncated or oversized buffer
+// can never read out of bounds).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hm::util {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  ByteWriter& u8(std::uint8_t v) {
+    out_.push_back(v);
+    return *this;
+  }
+  ByteWriter& u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    return *this;
+  }
+  ByteWriter& u32(std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * b)) & 0xff));
+    }
+    return *this;
+  }
+  ByteWriter& u64(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * b)) & 0xff));
+    }
+    return *this;
+  }
+  ByteWriter& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern: exact for every value including NaN payloads
+  /// and the sign of zero.
+  ByteWriter& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+  ByteWriter& boolean(bool v) { return u8(v ? 1 : 0); }
+  ByteWriter& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+    return *this;
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[off_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = 0;
+    for (int b = 0; b < 2; ++b) {
+      v = static_cast<std::uint16_t>(
+          v | (static_cast<std::uint16_t>(data_[off_ + b]) << (8 * b)));
+    }
+    off_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) {
+      v |= static_cast<std::uint32_t>(data_[off_ + b]) << (8 * b);
+    }
+    off_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<std::uint64_t>(data_[off_ + b]) << (8 * b);
+    }
+    off_ += 8;
+    return v;
+  }
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  /// Strict: only 0/1 are valid encodings, anything else marks the reader
+  /// failed (a flipped bool byte counts as corruption, not as "true").
+  [[nodiscard]] bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) ok_ = false;
+    return v == 1;
+  }
+  [[nodiscard]] std::string string_of(std::size_t n) {
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + off_), n);
+    off_ += n;
+    return s;
+  }
+
+  /// True iff every read so far was in bounds and well-formed.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True iff ok() and the buffer was consumed exactly.
+  [[nodiscard]] bool exhausted() const noexcept { return ok_ && off_ == size_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - off_; }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) {
+    if (!ok_ || size_ - off_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+/// FNV-1a over raw bytes — the record checksum of the on-disk store (same
+/// family as util::StableHash, which mixes whole u64s).
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(const std::uint8_t* data,
+                                               std::size_t n) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hm::util

@@ -47,11 +47,12 @@ GUARDED_HIGHER_IS_BETTER = ("sim_cycle_lowload.speedup.",)
 # Compared and reported, but never fail the gate (first-PR baselines).
 # Ratio-style search metrics where *lower* is the regression direction are
 # listed separately so the warning fires the right way around.
-WARN_PREFIXES = ("search.", "telemetry.", "fault.")
+WARN_PREFIXES = ("search.", "telemetry.", "fault.", "store.")
 WARN_HIGHER_IS_BETTER = ("search.rebuild_speedup.", "search.best_over_baseline.",
                          "search.e2e_evals_per_s.",
                          "search.tempering.best_over_baseline.",
-                         "search.tempering.e2e_evals_per_s.")
+                         "search.tempering.e2e_evals_per_s.",
+                         "store.warm_speedup")
 # Workload counts, not timings: reported for the record, never compared
 # against a ratio threshold (a different proposal mix is not a slowdown).
 COUNT_KEYS = ("search.e2e_evaluations.", "search.incremental_rebuilds.",
