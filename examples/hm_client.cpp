@@ -17,10 +17,18 @@
 //                                      survives (exit 0 = it did)
 //
 // FAMILY is grid | brickwall | hexamesh | honeycomb.
+//
+// When the server sheds load (admission control replies kRejected), the
+// client retries with a deterministic exponential backoff: base * 2^attempt
+// with no jitter, so a scripted run produces the same schedule every time.
+// --retries N bounds the attempts (default 4, 0 disables); --retry-base-ms
+// sets the first delay (default 100).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #ifndef _WIN32
@@ -45,6 +53,7 @@ using namespace hm::server;
   std::fprintf(
       stderr,
       "usage: %s (--unix PATH | --port P) "
+      "[--retries N] [--retry-base-ms MS] "
       "(ping | evaluate FAMILY N [--seed S] [--out F] | "
       "sweep FAMS NS [--seed S] [--no-sim] [--out F] | "
       "search FAMILY N STEPS [--seed S] | stats | shutdown | badframe)\n",
@@ -208,6 +217,11 @@ int run_badframe(const Endpoint& ep) {
 
 int main(int argc, char** argv) {
   Endpoint ep;
+  // kRejected backoff policy: `retries` extra attempts after the first,
+  // sleeping retry_base_ms << attempt between them (jitterless by design —
+  // identical invocations must behave identically).
+  std::uint64_t retries = 4;
+  std::uint64_t retry_base_ms = 100;
   int i = 1;
   for (; i < argc; ++i) {
     if (std::strcmp(argv[i], "--unix") == 0 && i + 1 < argc) {
@@ -215,6 +229,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       ep.port = static_cast<int>(
           hm::cli::require_unsigned(argv[++i], "--port", 1, 65535));
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = hm::cli::require_unsigned(argv[++i], "--retries", 0, 16);
+    } else if (std::strcmp(argv[i], "--retry-base-ms") == 0 && i + 1 < argc) {
+      retry_base_ms =
+          hm::cli::require_unsigned(argv[++i], "--retry-base-ms", 1, 60000);
     } else {
       break;
     }
@@ -301,13 +320,30 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
 
-  const int fd = ep.connect();
-  if (fd < 0) return 1;
-  const auto reply = roundtrip(fd, cmd, payload);
-  ::close(fd);
-  if (!reply) {
-    std::fprintf(stderr, "transport error talking to server\n");
-    return 1;
+  // Connect + round trip, retrying only admission-control rejections
+  // (kRejected: the queue is full and the server asked us to come back).
+  // Transport errors and every other status stay fail-fast — a retry
+  // cannot fix a bad request, and CI's malformed-input checks rely on
+  // immediate nonzero exits.
+  std::optional<std::pair<Status, std::vector<std::uint8_t>>> reply;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    const int fd = ep.connect();
+    if (fd < 0) return 1;
+    reply = roundtrip(fd, cmd, payload);
+    ::close(fd);
+    if (!reply) {
+      std::fprintf(stderr, "transport error talking to server\n");
+      return 1;
+    }
+    if (reply->first != Status::kRejected || attempt >= retries) break;
+    const std::uint64_t delay_ms = retry_base_ms << attempt;
+    std::fprintf(stderr,
+                 "server rejected request (queue full), attempt %llu/%llu: "
+                 "retrying in %llu ms\n",
+                 static_cast<unsigned long long>(attempt + 1),
+                 static_cast<unsigned long long>(retries + 1),
+                 static_cast<unsigned long long>(delay_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
   const auto& [status, body] = *reply;
   if (status != Status::kOk) return fail_with(status, body);

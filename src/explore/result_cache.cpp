@@ -1,7 +1,9 @@
 #include "explore/result_cache.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "store/result_store.hpp"
@@ -58,12 +60,21 @@ std::size_t ResultCache::flush_to_store() {
     {
       const std::unique_lock<std::shared_mutex> lock(shard.mu);
       batch.reserve(shard.dirty.size());
+      // HM_LINT allow(unordered-iter): snapshot only — the batch is sorted
+      // by key below before anything ordered (the on-disk segment) sees it
       for (const std::uint64_t key : shard.dirty) {
         const auto it = shard.map.find(key);
         if (it != shard.map.end()) batch.emplace_back(key, it->second);
       }
       shard.dirty.clear();
     }
+    // Key order, not hash-set order: put() appends to the store's pending
+    // segment in call order, so the dirty set's iteration order would leak
+    // straight into the segment bytes — equal stores written by different
+    // runs (or standard libraries) would no longer be byte-identical,
+    // which breaks segment-level dedup/rsync between hosts.
+    std::sort(batch.begin(), batch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     for (auto& [key, result] : batch) {
       store_->put(key, result);
       ++written;

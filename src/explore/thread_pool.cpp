@@ -53,6 +53,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+// HM_HOT: every sweep/search/saturation job funnels through here —
+// job claim and completion accounting must not allocate or throw
+// (the jobs themselves may; the catch block only captures).
 void ThreadPool::drain(Batch& batch) {
   const std::size_t n = batch.size;
   for (;;) {
@@ -106,6 +109,8 @@ void ThreadPool::run_batch(std::vector<std::function<void()>>& jobs) {
     // Sequential baseline; exceptions propagate. Same job accounting as
     // drain() so pool.jobs_run means "jobs the pool executed" at any
     // thread count, not "jobs that went through a Batch".
+    // HM_LINT allow(telemetry-name): deliberate alias of drain()'s counter —
+    // the inline path must feed the same pool.jobs_run slot
     static telemetry::Counter jobs_run("pool.jobs_run");
     for (auto& job : jobs) {
       jobs_run.add();

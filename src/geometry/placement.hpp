@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "geometry/rect.hpp"

@@ -21,6 +21,7 @@ struct SimulationArena::Lease::Entry {
 SimulationArena::Lease::Lease(Entry* entry)
     : entry_(entry), net_(entry->net.get()) {}
 
+// HM_HOT: lease hand-back between saturation probes — pointer resets only.
 void SimulationArena::Lease::release() noexcept {
   if (entry_ != nullptr) entry_->in_use = false;
   entry_ = nullptr;
@@ -33,6 +34,9 @@ SimulationArena::SimulationArena(std::size_t capacity)
 
 SimulationArena::~SimulationArena() = default;
 
+// HM_HOT: per-probe entry point — the steady-state reuse branch is reset-
+// and-return; only the cold miss/fallback branches below may build (each
+// carries its own hot-alloc waiver).
 SimulationArena::Lease SimulationArena::lease(
     std::shared_ptr<const TopologyContext> topo, const SimConfig& cfg) {
   // Hit: same shared context instance (acquire() interns per graph, so
@@ -55,6 +59,8 @@ SimulationArena::Lease SimulationArena::lease(
   // recently-used idle one — and build the network into it.
   Entry* slot = nullptr;
   if (entries_.size() < capacity_) {
+    // HM_LINT allow(hot-alloc): cold miss — a slot is built at most
+    // `capacity_` times per thread, then every later lease reuses it
     slot = entries_.emplace_back(std::make_unique<Entry>()).get();
   } else {
     for (auto& e : entries_) {
@@ -69,12 +75,16 @@ SimulationArena::Lease SimulationArena::lease(
     static telemetry::Counter oneoff("arena.oneoff_networks");
     oneoff.add();
     ++stats_.oneoff_networks;
+    // HM_LINT allow(hot-alloc): cold fallback — only reached when every
+    // slot is checked out by nested probes on this thread
     return Lease(std::make_unique<Network>(std::move(topo), cfg));
   }
   telemetry::Span span("arena.build");
   static telemetry::Counter built("arena.networks_built");
   built.add();
   ++stats_.networks_built;
+  // HM_LINT allow(hot-alloc): cold miss — builds once per (context,
+  // structure) pair, after which the reuse branch above serves the probes
   slot->net = std::make_unique<Network>(topo, cfg);
   slot->topo = std::move(topo);
   slot->cfg = cfg;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "noc/config.hpp"

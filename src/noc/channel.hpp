@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <utility>
 
 #include "noc/flit.hpp"

@@ -112,6 +112,7 @@ void Network::seed_rngs(std::uint64_t base) {
   for (auto& r : routers_) r.seed_rng(base);
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw (hm_lint R3).
 void Network::step(Cycle now) {
   if (cfg_.skip_idle) {
     step_active(now);
@@ -121,6 +122,7 @@ void Network::step(Cycle now) {
   ++cycles_stepped_;
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw.
 void Network::step_dense(Cycle now) {
   // 1. Deliver everything arriving this cycle.
   for (auto& link : links_) {
@@ -162,6 +164,7 @@ void Network::step_dense(Cycle now) {
   }
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw.
 void Network::step_active(Cycle now) {
   // Identical per-component operations and phase order as step_dense; only
   // components that can make progress are visited. Correctness rests on two
@@ -318,6 +321,8 @@ bool Network::quiescent() const {
   return true;
 }
 
+// HM_HOT: arena lease rewind — runs once per probe between
+// simulations; reuses wired storage, never reallocates.
 void Network::reset() {
   if (fault_dirty_) {
     // Fault transitions detach channel pointers and install degraded

@@ -12,8 +12,10 @@
 // (steady-state stepping does no heap allocation).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"

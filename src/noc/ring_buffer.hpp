@@ -12,10 +12,14 @@
 
 #include <cassert>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace hm::noc {
 
+// HM_HOT: every flit/credit movement goes through these rings — steady
+// state must stay allocation-free (regrow only fires past the reserved
+// occupancy bound, which the wiring sizes exactly).
 template <typename T>
 class RingQueue {
  public:

@@ -58,6 +58,8 @@ void Router::seed_rng(std::uint64_t base) {
   rng_ = Rng(rng_seed_);
 }
 
+// HM_HOT: arena lease rewind — state rewind over preallocated flat
+// arrays and rings only.
 void Router::reset() {
   for (auto& iv : in_) {
     iv.buf.clear();
@@ -128,6 +130,7 @@ void Router::receive_credit(std::size_t port, int vc) {
          cfg_.buffer_depth);
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw.
 void Router::route_compute(InputVc& iv, int iv_flat) {
   const Flit& head = iv.buf.front().flit;
   assert(head.head);
@@ -155,6 +158,7 @@ void Router::route_compute(InputVc& iv, int iv_flat) {
   }
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw.
 bool Router::try_allocate_vc(InputVc& iv, int iv_flat) {
   const Flit& head = iv.buf.front().flit;
   const graph::NodeId dst = head.dst_router;
@@ -250,6 +254,7 @@ bool Router::try_allocate_vc(InputVc& iv, int iv_flat) {
   return false;
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw.
 void Router::step(Cycle now) {
   now_ = now;
   const int total_vcs = static_cast<int>(in_.size());
@@ -304,6 +309,7 @@ void Router::step(Cycle now) {
   revoke_blocked_heads();
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw.
 void Router::switch_allocate(Cycle now) {
   const int total_vcs = static_cast<int>(in_.size());
   std::fill(sa_in_port_used_.begin(), sa_in_port_used_.end(), 0);
@@ -421,6 +427,7 @@ void Router::switch_allocate(Cycle now) {
   }
 }
 
+// HM_HOT: per-cycle simulation path — no allocation, no throw.
 void Router::revoke_blocked_heads() {
   // Ascending occupied-VC walk: a revocable head (zero flits sent) is by
   // definition still buffered, so unoccupied VCs cannot qualify.

@@ -79,6 +79,8 @@ RoutingTables::RoutingTables(const graph::Graph& g, const RoutingTables& prev,
                              const GraphEdit& edit) {
   check_buildable(g);
   g_lifetime_builds.fetch_add(1, std::memory_order_relaxed);
+  // HM_LINT allow(telemetry-name): deliberate alias — full and incremental
+  // constructors both count into the one lifetime-builds metric
   static telemetry::Counter builds("routing.lifetime_builds");
   builds.add();
   const std::size_t n = g.node_count();

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"

@@ -57,6 +57,9 @@ ContextCache& cache() {
 void maybe_prune(ContextCache& c) {
   if (++c.acquires_since_prune < 64) return;
   c.acquires_since_prune = 0;
+  // HM_LINT allow(unordered-iter): pure eviction of expired weak slots —
+  // the walk order mutates nothing observable (no export/hash/trace reads
+  // this map; lookups go through find())
   for (auto it = c.map.begin(); it != c.map.end();) {
     std::erase_if(it->second, [](const auto& w) { return w.expired(); });
     it = it->second.empty() ? c.map.erase(it) : std::next(it);

@@ -3,6 +3,7 @@
 // initial partitions at the coarsest level.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "partition/wgraph.hpp"

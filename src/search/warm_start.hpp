@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/arrangement.hpp"
 #include "explore/sweep.hpp"

@@ -23,6 +23,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace hm::server {

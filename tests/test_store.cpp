@@ -462,6 +462,39 @@ TEST(CacheStoreIntegration, FlushWritesDirtyEntriesThrough) {
   EXPECT_EQ(store->stats().pending, 0u);  // flushed to a segment
 }
 
+// Regression: flush_to_store() used to write the dirty batch in the
+// unordered_set's iteration order, so two caches holding identical entries
+// could emit byte-different segments depending on insertion history (or
+// standard library) — breaking segment-level dedup between hosts. The
+// flush now sorts by key, so segment bytes depend only on contents.
+TEST(CacheStoreIntegration, FlushSegmentBytesIndependentOfInsertOrder) {
+  constexpr std::uint64_t kCount = 64;
+  const auto dir_fwd = fresh_dir("flushorder_fwd");
+  const auto dir_rev = fresh_dir("flushorder_rev");
+
+  {
+    hm::explore::ResultCache cache;
+    cache.attach_store(ResultStore::open(dir_fwd.string()));
+    for (std::uint64_t k = 1; k <= kCount; ++k) {
+      cache.insert(k, make_result(k));
+    }
+    EXPECT_EQ(cache.flush_to_store(), kCount);
+  }
+  {
+    hm::explore::ResultCache cache;
+    cache.attach_store(ResultStore::open(dir_rev.string()));
+    for (std::uint64_t k = kCount; k >= 1; --k) {
+      cache.insert(k, make_result(k));
+    }
+    EXPECT_EQ(cache.flush_to_store(), kCount);
+  }
+
+  const fs::path seg_fwd = only_segment(dir_fwd);
+  const fs::path seg_rev = only_segment(dir_rev);
+  EXPECT_EQ(seg_fwd.filename(), seg_rev.filename());
+  EXPECT_EQ(slurp(seg_fwd), slurp(seg_rev));
+}
+
 TEST(CacheStoreIntegration, GetOrComputeUsesStoreBeforeComputing) {
   const auto dir = fresh_dir("getorcompute");
   {

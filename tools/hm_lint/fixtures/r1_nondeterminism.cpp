@@ -1,0 +1,35 @@
+// hm_lint fixture: seeded R1 violations. Every construct below is a
+// nondeterminism source the real tree must never contain outside
+// src/noc/rng.hpp — wall-clock seeds, libc rand, hashing `this`.
+// EXPECT: nondeterminism
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t bad_seed_from_clock() {
+  // time-based seeding: varies run to run.
+  std::uint64_t seed = static_cast<std::uint64_t>(time(nullptr));
+  return seed;
+}
+
+int bad_libc_rand() {
+  srand(7);
+  return std::rand();
+}
+
+std::uint64_t bad_random_device() {
+  std::random_device rd;
+  return rd();
+}
+
+struct Widget {
+  std::uint64_t bad_identity_hash() const {
+    // this-pointer hashing: ASLR makes the digest differ per process.
+    return reinterpret_cast<std::uintptr_t>(this) * 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+}  // namespace fixture

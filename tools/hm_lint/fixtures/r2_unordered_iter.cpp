@@ -1,0 +1,37 @@
+// hm_lint fixture: seeded R2 violations. Iterating an unordered container
+// into an ordered consumer (CSV rows here) leaks implementation order into
+// the output.
+// EXPECT: unordered-iter
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void bad_export_rows(const std::unordered_map<std::uint64_t, double>& table) {
+  // range-for over an unordered map straight into an export.
+  for (const auto& [key, value] : table) {
+    std::printf("%llu,%f\n", static_cast<unsigned long long>(key), value);
+  }
+}
+
+std::uint64_t bad_hash_members(const std::unordered_set<std::uint64_t>& keys) {
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  // iterator loop is just as order-dependent as range-for.
+  for (auto it = keys.begin(); it != keys.end(); ++it) {
+    digest = (digest ^ *it) * 0x100000001b3ULL;
+  }
+  return digest;
+}
+
+void ok_waived(const std::unordered_map<std::uint64_t, double>& table) {
+  double sum = 0.0;
+  // HM_LINT allow(unordered-iter): commutative fold — order cannot escape
+  for (const auto& [key, value] : table) {
+    sum += value;
+  }
+  std::printf("%f\n", sum);
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// hm_lint fixture: seeded R3 violations. An HM_HOT region holding every
+// banned construct: operator new, make_unique, std::function construction
+// and a throw.
+// EXPECT: hot-alloc
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+namespace fixture {
+
+struct Flit {
+  int payload = 0;
+};
+
+// HM_HOT: pretend per-cycle path.
+int bad_hot_step(int cycle) {
+  auto* scratch = new Flit();  // heap allocation per cycle
+  auto owned = std::make_unique<Flit>();
+  std::function<int(int)> op = [](int x) { return x + 1; };
+  if (cycle < 0) {
+    delete scratch;
+    throw std::runtime_error("negative cycle");
+  }
+  const int out = op(scratch->payload + owned->payload);
+  delete scratch;
+  return out;
+}
+
+// A function without the annotation may allocate freely — no finding.
+int ok_cold_setup() {
+  auto owned = std::make_unique<Flit>();
+  return owned->payload;
+}
+
+}  // namespace fixture

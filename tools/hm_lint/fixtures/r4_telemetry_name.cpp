@@ -1,0 +1,29 @@
+// hm_lint fixture: seeded R4 violations — a counter name outside the
+// family.sub catalog regex, and one metric registered at two sites.
+// EXPECT: telemetry-name
+
+namespace telemetry {
+struct Counter {
+  explicit Counter(const char*) {}
+  void add() {}
+};
+}  // namespace telemetry
+
+namespace fixture {
+
+void bad_flat_name() {
+  static telemetry::Counter c("FlitsRouted");  // no family, CamelCase
+  c.add();
+}
+
+void first_registration() {
+  static telemetry::Counter c("fixture.duplicated_metric");
+  c.add();
+}
+
+void bad_second_registration() {
+  static telemetry::Counter c("fixture.duplicated_metric");
+  c.add();
+}
+
+}  // namespace fixture

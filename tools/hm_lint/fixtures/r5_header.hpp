@@ -1,0 +1,13 @@
+// hm_lint fixture: seeded R5 violations — no #pragma once, and std
+// symbols used with no direct include at all (this header only compiles
+// when its includer happens to pull <vector>/<cstdint>/<string> first).
+// EXPECT: header-include
+
+namespace fixture {
+
+struct Manifest {
+  std::vector<std::uint64_t> keys;
+  std::string label;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// hm_lint fixture: seeded waiver-syntax violations — a waiver with an
+// empty reason and a waiver naming an unknown rule. An empty reason also
+// means the finding it tried to cover still fires.
+// EXPECT: waiver-syntax
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t bad_empty_reason(const std::unordered_set<std::uint64_t>& s) {
+  std::uint64_t n = 0;
+  // HM_LINT allow(unordered-iter):
+  for (const auto& v : s) {
+    n += v;
+  }
+  return n;
+}
+
+void bad_unknown_rule() {
+  // HM_LINT allow(made-up-rule): this rule does not exist
+}
+
+}  // namespace fixture

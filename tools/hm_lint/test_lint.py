@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Self-test for hm_lint: every seeded fixture must trip its rule, and the
+real tree must be clean.
+
+Each file under fixtures/ declares the rule it seeds with an
+`// EXPECT: <rule-id>` line. For each fixture we run the linter on just
+that file and require (a) a nonzero exit and (b) at least one finding
+tagged with the declared rule. Then we run the linter over the default
+scan roots and require a zero exit — the tree itself carries no
+violations (everything intentional is waived with a reason).
+
+Exit status: 0 all checks pass, 1 otherwise.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINTER = HERE / "hm_lint.py"
+FIXTURES = HERE / "fixtures"
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([a-z-]+)")
+
+
+def run_linter(args, root):
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), *args],
+        cwd=str(root),
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    root = HERE.parent.parent  # repo root
+    failures = []
+
+    fixtures = sorted(FIXTURES.glob("*"))
+    if not fixtures:
+        print("FAIL: no fixtures found under", FIXTURES)
+        return 1
+
+    for fixture in fixtures:
+        text = fixture.read_text(encoding="utf-8")
+        m = EXPECT_RE.search(text)
+        if not m:
+            failures.append(f"{fixture.name}: no '// EXPECT: <rule>' marker")
+            continue
+        rule = m.group(1)
+        code, out = run_linter([str(fixture)], root)
+        tag = f"[{rule}]"
+        if code == 0:
+            failures.append(
+                f"{fixture.name}: expected nonzero exit, linter said clean"
+            )
+        elif tag not in out:
+            failures.append(
+                f"{fixture.name}: exit {code} but no {tag} finding in:\n{out}"
+            )
+        else:
+            n = out.count(tag)
+            print(f"ok   {fixture.name}: {n} {tag} finding(s)")
+
+    code, out = run_linter([], root)
+    if code != 0:
+        failures.append(f"default scan: expected clean tree, got:\n{out}")
+    else:
+        print(f"ok   default scan: {out.strip()}")
+
+    if failures:
+        for f in failures:
+            print("FAIL", f)
+        print(f"test_lint: {len(failures)} failure(s)")
+        return 1
+    print(f"test_lint: all {len(fixtures) + 1} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
